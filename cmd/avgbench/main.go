@@ -1,0 +1,55 @@
+// Command avgbench runs the reproduction experiments E1–E14 and prints
+// their tables (DESIGN.md §2, EXPERIMENTS.md).
+//
+// Usage:
+//
+//	avgbench                 # every experiment at quick scale
+//	avgbench -exp E5,E6      # selected experiments
+//	avgbench -full -seed 7   # full-scale sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"avgloc/internal/harness"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	full := flag.Bool("full", false, "full-scale sweeps (minutes instead of seconds)")
+	seed := flag.Uint64("seed", 42, "master seed")
+	flag.Parse()
+
+	scale := harness.Quick
+	if *full {
+		scale = harness.Full
+	}
+	var selected []string
+	if *expFlag == "" {
+		for _, e := range harness.All() {
+			selected = append(selected, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			selected = append(selected, strings.TrimSpace(id))
+		}
+	}
+	for _, id := range selected {
+		tab, err := harness.Run(id, scale, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tab.String())
+	}
+	return nil
+}

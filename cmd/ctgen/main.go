@@ -1,0 +1,93 @@
+// Command ctgen regenerates the structural artifacts of Section 4:
+// Figure 1's cluster tree skeletons CT_0..CT_k, the derived base graphs
+// G_k(β) with their Lemma 13 statistics, and random-lift girth statistics
+// (Lemma 12 / Corollary 15).
+//
+// Usage:
+//
+//	ctgen -k 2 -beta 4 -q 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"avgloc/internal/lb/basegraph"
+	"avgloc/internal/lb/clustertree"
+	"avgloc/internal/lb/lift"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ctgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	k := flag.Int("k", 2, "cluster tree parameter k")
+	beta := flag.Int("beta", 4, "cluster size parameter β (even, >= 4)")
+	q := flag.Int("q", 4, "random lift order (0 disables the lift)")
+	seed := flag.Uint64("seed", 1, "lift seed")
+	flag.Parse()
+
+	fmt.Println("Cluster tree skeletons (Figure 1):")
+	for kk := 0; kk <= *k; kk++ {
+		s, err := clustertree.Build(kk)
+		if err != nil {
+			return err
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("CT_%d invalid: %w", kk, err)
+		}
+		fmt.Println(s)
+	}
+
+	inst, err := basegraph.Build(basegraph.Params{K: *k, Beta: *beta})
+	if err != nil {
+		return err
+	}
+	if err := inst.Validate(); err != nil {
+		return fmt.Errorf("base graph invalid: %w", err)
+	}
+	fmt.Printf("Base graph G_%d(β=%d): %v\n", *k, *beta, inst.G)
+	fmt.Printf("  |S(c0)| = %d (independent set, %.1f%% of all nodes)\n",
+		len(inst.Clusters[0]), 100*float64(len(inst.Clusters[0]))/float64(inst.G.N()))
+	fmt.Printf("  max degree %d (Lemma 13 bound 2β^{k+1} = %d)\n",
+		inst.G.MaxDegree(), 2*pow(*beta, *k+1))
+	for v := range inst.Clusters {
+		if v > 4 {
+			fmt.Printf("  ... %d more clusters\n", len(inst.Clusters)-v)
+			break
+		}
+		fmt.Printf("  cluster %d: %d nodes, α ≤ %d\n", v, len(inst.Clusters[v]), inst.IndependenceBound(v))
+	}
+
+	if *q > 0 {
+		rng := rand.New(rand.NewPCG(*seed, 2))
+		lifted, err := lift.Random(inst.G, *q, rng)
+		if err != nil {
+			return err
+		}
+		if err := lift.IsCoveringMap(inst.G, lifted, *q); err != nil {
+			return fmt.Errorf("lift invalid: %w", err)
+		}
+		fmt.Printf("Random lift of order %d: %v\n", *q, lifted)
+		for _, l := range []int{3, 5, 2*(*k) + 1} {
+			fmt.Printf("  fraction of nodes on a cycle of length <= %d: %.3f\n",
+				l, lift.ShortCycleFraction(lifted, l))
+		}
+		fmt.Printf("  girth: %d (base graph girth: %d)\n", lifted.Girth(), inst.G.Girth())
+	}
+	return nil
+}
+
+func pow(b, e int) int {
+	out := 1
+	for ; e > 0; e-- {
+		out *= b
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Command localsim runs one algorithm on one generated graph and prints
+// every complexity measure of Definition 1 and Appendix A.
+//
+// Usage:
+//
+//	localsim -graph regular -n 1024 -d 6 -alg mis/luby -trials 5
+//	localsim -graph cycle -n 4096 -alg mis/det-coloring
+//	localsim -graph regular -n 8192 -d 3 -alg orient/det-averaged
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"avgloc/internal/alg/coloring"
+	"avgloc/internal/alg/matching"
+	"avgloc/internal/alg/mis"
+	"avgloc/internal/alg/ruling"
+	"avgloc/internal/core"
+	"avgloc/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "localsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	graphKind := flag.String("graph", "regular", "cycle|path|grid|regular|gnp|torus|hypercube")
+	n := flag.Int("n", 1024, "number of nodes (grid/torus: side length; hypercube: dimension)")
+	d := flag.Int("d", 6, "degree (regular) or edge probability ×1000 (gnp)")
+	algName := flag.String("alg", "mis/luby", "algorithm (see -list)")
+	list := flag.Bool("list", false, "list algorithms and exit")
+	trials := flag.Int("trials", 3, "independent trials")
+	seed := flag.Uint64("seed", 1, "master seed")
+	flag.Parse()
+
+	detAvg, detWorst, randMark := core.SinklessRunners()
+	algs := map[string]struct {
+		runner  core.Runner
+		problem core.Problem
+	}{
+		"mis/luby":         {core.MessagePassing(mis.Luby{}), core.MIS},
+		"mis/ghaffari":     {core.MessagePassing(mis.Ghaffari{}), core.MIS},
+		"mis/det-coloring": {core.MessagePassing(mis.Det{}), core.MIS},
+		"ruling/rand22":    {core.MessagePassing(ruling.Rand22{}), core.RulingSet(2)},
+		"ruling/det-logdelta": {
+			core.MessagePassing(ruling.Det{Variant: ruling.LogDelta}), core.RulingSet(64),
+		},
+		"matching/randluby":    {core.MessagePassing(matching.RandLuby{}), core.MaximalMatching},
+		"matching/israeliitai": {core.MessagePassing(matching.IsraeliItai{}), core.MaximalMatching},
+		"matching/det":         {core.DetMatchingRunner(), core.MaximalMatching},
+		"coloring/randgreedy":  {core.MessagePassing(coloring.RandGreedy{}), core.Coloring(1 << 30)},
+		"orient/det-averaged":  {detAvg, core.SinklessOrientation},
+		"orient/det-worstcase": {detWorst, core.SinklessOrientation},
+		"orient/rand-marking":  {randMark, core.SinklessOrientation},
+	}
+	if *list {
+		for name := range algs {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	entry, ok := algs[*algName]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q (use -list)", *algName)
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, 99))
+	var g *graph.Graph
+	switch *graphKind {
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "path":
+		g = graph.Path(*n)
+	case "grid":
+		g = graph.Grid(*n, *n)
+	case "torus":
+		g = graph.Torus(*n, *n)
+	case "hypercube":
+		g = graph.Hypercube(*n)
+	case "regular":
+		g = graph.RandomRegular(*n, *d, rng)
+	case "gnp":
+		g = graph.GNP(*n, float64(*d)/1000, rng)
+	default:
+		return fmt.Errorf("unknown graph kind %q", *graphKind)
+	}
+
+	rep, err := core.Measure(g, entry.problem, entry.runner, core.MeasureOptions{Trials: *trials, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph:      %s\n", rep.Graph)
+	fmt.Printf("algorithm:  %s (problem %s, %d trials)\n", rep.Algorithm, rep.Problem, rep.Trials)
+	fmt.Printf("AVG_V:      %.2f\n", rep.NodeAvg)
+	fmt.Printf("AVG_E:      %.2f\n", rep.EdgeAvg)
+	fmt.Printf("EXP_V:      %.2f\n", rep.ExpNode)
+	fmt.Printf("EXP_E:      %.2f\n", rep.ExpEdge)
+	fmt.Printf("E[worst]:   %.2f\n", rep.WorstMean)
+	fmt.Printf("max worst:  %.2f\n", rep.WorstMax)
+	if rep.OneSidedEdgeAvg > 0 {
+		fmt.Printf("one-sided AVG_E (footnote 2): %.2f\n", rep.OneSidedEdgeAvg)
+	}
+	if rep.Messages > 0 {
+		fmt.Printf("messages/trial: %.0f\n", rep.Messages)
+	}
+	return nil
+}

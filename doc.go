@@ -1,0 +1,14 @@
+// Package avgloc reproduces "Node and Edge Averaged Complexities of Local
+// Graph Problems" (Balliu, Ghaffari, Kuhn, Olivetti; PODC 2022,
+// arXiv:2208.08213) as a Go library: a synchronous LOCAL/CONGEST
+// simulator, the paper's averaged-complexity measures, its algorithms
+// (MIS, ruling sets, maximal matching, sinkless orientation) and its
+// KMW-style lower-bound constructions, together with the E1–E14
+// experiment harness described in DESIGN.md and EXPERIMENTS.md.
+//
+// Entry points:
+//
+//	internal/core     — problems, runners, measurement
+//	internal/harness  — the experiments; also run via cmd/avgbench
+//	examples/         — runnable walkthroughs
+package avgloc

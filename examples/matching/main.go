@@ -1,0 +1,61 @@
+// Maximal matching: node- vs edge-averaged complexity (Theorems 4, 5, 17).
+// The randomized algorithm's edge average is O(1) while its node average
+// on the doubled KMW construction grows; the deterministic algorithm's
+// averages depend on Δ but not on n.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"avgloc/internal/alg/matching"
+	"avgloc/internal/core"
+	"avgloc/internal/graph"
+	"avgloc/internal/lb/basegraph"
+	"avgloc/internal/lb/kmwmatch"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(17, 23))
+	opts := core.MeasureOptions{Trials: 3, Seed: 5}
+
+	fmt.Println("Theorem 4 — randomized maximal matching on random 6-regular graphs:")
+	for _, n := range []int{512, 2048, 8192} {
+		g := graph.RandomRegular(n, 6, rng)
+		rep, err := core.Measure(g, core.MaximalMatching, core.MessagePassing(matching.RandLuby{}), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%-6d AVG_E=%-6.2f AVG_V=%-6.2f worst=%.1f\n", n, rep.EdgeAvg, rep.NodeAvg, rep.WorstMean)
+	}
+
+	fmt.Println("\nTheorem 17 — the same algorithm on the doubled KMW construction:")
+	for _, cfg := range []struct{ k, beta, q int }{{0, 8, 2}, {1, 4, 2}} {
+		base, err := basegraph.Build(basegraph.Params{K: cfg.k, Beta: cfg.beta})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := kmwmatch.Build(base, cfg.q, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := core.Measure(inst.G, core.MaximalMatching, core.MessagePassing(matching.RandLuby{}), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%d β=%-2d n=%-6d AVG_E=%-6.2f AVG_V=%-6.2f (node average inherits the KMW bound)\n",
+			cfg.k, cfg.beta, inst.G.N(), rep.EdgeAvg, rep.NodeAvg)
+	}
+
+	fmt.Println("\nTheorem 5 — deterministic matching via fractional rounding:")
+	for _, cfg := range []struct{ n, d int }{{512, 4}, {512, 16}, {4096, 4}} {
+		g := graph.RandomRegular(cfg.n, cfg.d, rng)
+		rep, err := core.Measure(g, core.MaximalMatching, core.DetMatchingRunner(), core.MeasureOptions{Trials: 1, Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%-6d Δ=%-3d AVG_E=%-8.1f AVG_V=%-8.1f (grows with Δ, flat in n)\n",
+			cfg.n, cfg.d, rep.EdgeAvg, rep.NodeAvg)
+	}
+}

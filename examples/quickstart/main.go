@@ -1,0 +1,35 @@
+// Quickstart: run Luby's MIS on a random regular graph under the
+// synchronous LOCAL simulator and print the averaged complexity measures
+// of Definition 1 — the five-minute tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"avgloc/internal/alg/mis"
+	"avgloc/internal/core"
+	"avgloc/internal/graph"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(2022, 8213))
+	g := graph.RandomRegular(2000, 8, rng)
+
+	report, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}),
+		core.MeasureOptions{Trials: 5, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Luby's MIS on", report.Graph)
+	fmt.Printf("  node-averaged complexity  AVG_V = %.2f rounds\n", report.NodeAvg)
+	fmt.Printf("  edge-averaged complexity  AVG_E = %.2f rounds\n", report.EdgeAvg)
+	fmt.Printf("  one-sided edge average (footnote 2) = %.2f rounds\n", report.OneSidedEdgeAvg)
+	fmt.Printf("  node expected complexity  EXP_V = %.2f rounds\n", report.ExpNode)
+	fmt.Printf("  worst case (mean over trials)     = %.2f rounds\n", report.WorstMean)
+	fmt.Println()
+	fmt.Println("The gap between AVG_V and the worst case is the paper's subject:")
+	fmt.Println("a typical node finishes long before the last one does.")
+}

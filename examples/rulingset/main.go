@@ -1,0 +1,52 @@
+// Ruling set vs MIS: the paper's headline contrast (Theorem 2 vs
+// Theorem 16). On the lifted KMW lower-bound family, every MIS algorithm
+// has a node average that grows with the construction parameter, while the
+// minimal relaxation to a (2,2)-ruling set is O(1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"avgloc/internal/alg/mis"
+	"avgloc/internal/alg/ruling"
+	"avgloc/internal/core"
+	"avgloc/internal/lb/basegraph"
+	"avgloc/internal/lb/lift"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(4, 2))
+	fmt.Println("k  β  n      Δ    MIS(luby) AVG_V   MIS(ghaffari) AVG_V   (2,2)-ruling AVG_V")
+	for _, cfg := range []struct{ k, beta, q int }{
+		{0, 4, 8}, {0, 8, 4}, {1, 4, 4},
+	} {
+		base, err := basegraph.Build(basegraph.Params{K: cfg.k, Beta: cfg.beta})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := lift.BuildInstance(base, cfg.q, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := core.MeasureOptions{Trials: 3, Seed: 11}
+		luby, err := core.Measure(inst.G, core.MIS, core.MessagePassing(mis.Luby{}), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ghaf, err := core.Measure(inst.G, core.MIS, core.MessagePassing(mis.Ghaffari{}), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := core.Measure(inst.G, core.RulingSet(2), core.MessagePassing(ruling.Rand22{}), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d  %d  %-6d %-4d %-19.2f %-21.2f %.2f\n",
+			cfg.k, cfg.beta, inst.G.N(), inst.G.MaxDegree(),
+			luby.NodeAvg, ghaf.NodeAvg, rs.NodeAvg)
+	}
+	fmt.Println()
+	fmt.Println("Relaxing MIS = (2,1)-ruling set to (2,2) collapses the node average (Theorem 2).")
+}

@@ -1,0 +1,108 @@
+package matching_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"avgloc/internal/alg/matching"
+	"avgloc/internal/graph"
+	"avgloc/internal/ids"
+	"avgloc/internal/measure"
+	"avgloc/internal/runtime"
+)
+
+func workloads(t *testing.T, seed uint64) []*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 77))
+	return []*graph.Graph{
+		graph.Path(2),
+		graph.Path(9),
+		graph.Cycle(30),
+		graph.Star(15),
+		graph.Complete(10),
+		graph.Grid(6, 6),
+		graph.GNP(60, 0.1, rng),
+		graph.RandomRegular(60, 5, rng),
+	}
+}
+
+func runMatch(t *testing.T, g *graph.Graph, alg runtime.Algorithm, seed uint64) *runtime.Result {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 3))
+	res, err := runtime.Run(g, alg, runtime.Config{
+		IDs:  ids.RandomPerm(g.N(), rng),
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("%s on %s: %v", alg.Name(), g, err)
+	}
+	return res
+}
+
+func TestRandLubyMaximalMatching(t *testing.T) {
+	for i, g := range workloads(t, 41) {
+		for trial := 0; trial < 3; trial++ {
+			res := runMatch(t, g, matching.RandLuby{}, uint64(10*i+trial))
+			if err := graph.IsMaximalMatching(g, matching.SetFromResult(res)); err != nil {
+				t.Fatalf("workload %d trial %d: %v", i, trial, err)
+			}
+		}
+	}
+}
+
+func TestIsraeliItaiMaximalMatching(t *testing.T) {
+	for i, g := range workloads(t, 43) {
+		for trial := 0; trial < 3; trial++ {
+			res := runMatch(t, g, matching.IsraeliItai{}, uint64(10*i+trial))
+			if err := graph.IsMaximalMatching(g, matching.SetFromResult(res)); err != nil {
+				t.Fatalf("workload %d trial %d: %v", i, trial, err)
+			}
+		}
+	}
+}
+
+func TestGreedyOracle(t *testing.T) {
+	for i, g := range workloads(t, 45) {
+		if err := graph.IsMaximalMatching(g, matching.Greedy(g, nil)); err != nil {
+			t.Fatalf("workload %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandLubyEdgeAveragedIsSmall(t *testing.T) {
+	// Theorem 4: edge-averaged complexity O(1); the measured value must be
+	// small and clearly below the worst case on a sizable graph.
+	rng := rand.New(rand.NewPCG(47, 48))
+	g := graph.RandomRegular(500, 6, rng)
+	agg := measure.NewAgg(g.N(), g.M())
+	for trial := 0; trial < 5; trial++ {
+		res := runMatch(t, g, matching.RandLuby{}, uint64(trial))
+		tm, err := measure.Completion(g, res, runtime.EdgeOutputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg.Add(tm)
+	}
+	// ~6 phases of 4 rounds: the 1/(4(d_u+d_v)) marking constant is
+	// conservative, so the O(1) hides a two-digit constant.
+	if avg := agg.EdgeAvg(); avg > 32 {
+		t.Fatalf("edge-averaged complexity suspiciously high: %.2f", avg)
+	}
+	if agg.EdgeAvg() >= agg.WorstMean() {
+		t.Fatal("edge average should be below worst case")
+	}
+}
+
+func TestMatchingCompletionSemantics(t *testing.T) {
+	// On a single edge both endpoints decide in the same phase; node and
+	// edge completion times coincide (Definition 1, edge outputs).
+	g := graph.Path(2)
+	res := runMatch(t, g, matching.RandLuby{}, 5)
+	tm, err := measure.Completion(g, res, runtime.EdgeOutputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Node[0] != tm.Edge[0] || tm.Node[1] != tm.Edge[0] {
+		t.Fatalf("single-edge times inconsistent: %+v", tm)
+	}
+}

@@ -1,0 +1,115 @@
+package mis_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"avgloc/internal/alg/mis"
+	"avgloc/internal/graph"
+	"avgloc/internal/ids"
+	"avgloc/internal/measure"
+	"avgloc/internal/runtime"
+)
+
+func TestDetMISOnCycles(t *testing.T) {
+	for _, n := range []int{3, 10, 101, 512} {
+		g := graph.Cycle(n)
+		rng := rand.New(rand.NewPCG(uint64(n), 1))
+		res, err := runtime.Run(g, mis.Det{}, runtime.Config{IDs: ids.RandomPerm(n, rng)})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := graph.IsMaximalIndependentSet(g, mis.SetFromResult(res)); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Θ(log* n): tiny round count even at n=512.
+		if res.Rounds > 60 {
+			t.Fatalf("n=%d: det MIS took %d rounds", n, res.Rounds)
+		}
+	}
+}
+
+func TestDetMISGeneralGraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i, g := range []*graph.Graph{
+		graph.Grid(6, 7),
+		graph.RandomRegular(60, 4, rng),
+		graph.GNP(50, 0.12, rng),
+		graph.Complete(8),
+		graph.Star(12),
+	} {
+		res, err := runtime.Run(g, mis.Det{}, runtime.Config{IDs: ids.RandomPerm(g.N(), rng)})
+		if err != nil {
+			t.Fatalf("workload %d: %v", i, err)
+		}
+		if err := graph.IsMaximalIndependentSet(g, mis.SetFromResult(res)); err != nil {
+			t.Fatalf("workload %d: %v", i, err)
+		}
+	}
+}
+
+func TestGreedyOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := graph.GNP(80, 0.1, rng)
+	if err := graph.IsMaximalIndependentSet(g, mis.Greedy(g, nil)); err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = g.N() - 1 - i
+	}
+	if err := graph.IsMaximalIndependentSet(g, mis.Greedy(g, order)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLubyOneSidedEdgeAverage(t *testing.T) {
+	// Section 3.1 + footnote 2: under the one-sided edge measure (an edge
+	// is done when either endpoint is decided), Luby's MIS has O(1)
+	// edge-averaged complexity — half the edges die per phase.
+	rng := rand.New(rand.NewPCG(9, 10))
+	g := graph.RandomRegular(600, 8, rng)
+	var sum float64
+	trials := 5
+	for trial := 0; trial < trials; trial++ {
+		res, err := runtime.Run(g, mis.Luby{}, runtime.Config{
+			IDs:  ids.RandomPerm(g.N(), rng),
+			Seed: uint64(trial),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := measure.OneSidedEdgeTimes(g, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, x := range one {
+			s += float64(x)
+		}
+		sum += s / float64(len(one))
+	}
+	if avg := sum / float64(trials); avg > 12 {
+		t.Fatalf("one-sided edge average %.2f too large for O(1)", avg)
+	}
+}
+
+func TestMatchingAsMISOnLineGraph(t *testing.T) {
+	// Section 1.1: a maximal matching of G is an MIS of L(G). Run Luby MIS
+	// on L(G) and validate the selected line-nodes as a maximal matching
+	// of G.
+	rng := rand.New(rand.NewPCG(11, 12))
+	g := graph.RandomRegular(40, 4, rng)
+	lg := graph.LineGraph(g)
+	res, err := runtime.Run(lg, mis.Luby{}, runtime.Config{
+		IDs:  ids.RandomPerm(lg.N(), rng),
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMatching := mis.SetFromResult(res) // line node i == edge i of g
+	if err := graph.IsMaximalMatching(g, inMatching); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package core is the public facade of the library: problem definitions
+// with the completion-time semantics of Section 2, a uniform Runner
+// abstraction over message-passing algorithms (internal/runtime) and
+// locality-charged algorithms (internal/locality), and the trial loop that
+// validates outputs and aggregates the Definition 1 / Appendix A measures.
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"avgloc/internal/alg/matching"
+	"avgloc/internal/alg/mis"
+	"avgloc/internal/alg/orient"
+	"avgloc/internal/alg/ruling"
+	"avgloc/internal/graph"
+	"avgloc/internal/ids"
+	"avgloc/internal/measure"
+	"avgloc/internal/runtime"
+)
+
+// Problem fixes a graph problem's output kind and validator.
+type Problem struct {
+	Name     string
+	Kind     runtime.OutputKind
+	Validate func(g *graph.Graph, res *runtime.Result) error
+}
+
+// MIS is the maximal independent set problem (bool node outputs).
+var MIS = Problem{
+	Name: "mis",
+	Kind: runtime.NodeOutputs,
+	Validate: func(g *graph.Graph, res *runtime.Result) error {
+		return graph.IsMaximalIndependentSet(g, mis.SetFromResult(res))
+	},
+}
+
+// RulingSet returns the (2, beta)-ruling set problem.
+func RulingSet(beta int) Problem {
+	return Problem{
+		Name: fmt.Sprintf("ruling(2,%d)", beta),
+		Kind: runtime.NodeOutputs,
+		Validate: func(g *graph.Graph, res *runtime.Result) error {
+			return graph.IsRulingSet(g, ruling.SetFromResult(res), beta)
+		},
+	}
+}
+
+// MaximalMatching is the maximal matching problem (bool edge outputs).
+var MaximalMatching = Problem{
+	Name: "matching",
+	Kind: runtime.EdgeOutputs,
+	Validate: func(g *graph.Graph, res *runtime.Result) error {
+		return graph.IsMaximalMatching(g, matching.SetFromResult(res))
+	},
+}
+
+// Coloring returns the c-coloring problem (int node outputs).
+func Coloring(c int) Problem {
+	return Problem{
+		Name: fmt.Sprintf("coloring(%d)", c),
+		Kind: runtime.NodeOutputs,
+		Validate: func(g *graph.Graph, res *runtime.Result) error {
+			colors := make([]int, g.N())
+			for v, out := range res.NodeOut {
+				x, ok := out.(int)
+				if !ok {
+					return fmt.Errorf("core: node %d output %v not a color", v, out)
+				}
+				colors[v] = x
+			}
+			return graph.IsProperColoring(g, colors, c)
+		},
+	}
+}
+
+// SinklessOrientation is the sinkless orientation problem for minimum
+// degree 3 (edge outputs: the target node index).
+var SinklessOrientation = Problem{
+	Name: "sinkless",
+	Kind: runtime.EdgeOutputs,
+	Validate: func(g *graph.Graph, res *runtime.Result) error {
+		o := graph.NewOrientation(g)
+		for e := 0; e < g.M(); e++ {
+			to, ok := res.EdgeOut[e].(int)
+			if !ok {
+				return fmt.Errorf("core: edge %d output %v not a node index", e, res.EdgeOut[e])
+			}
+			u, v := g.Endpoints(e)
+			from := u
+			if to == u {
+				from = v
+			} else if to != v {
+				return fmt.Errorf("core: edge %d points at non-endpoint %d", e, to)
+			}
+			if err := o.Orient(g, e, from); err != nil {
+				return err
+			}
+		}
+		return graph.IsSinkless(g, o, 3)
+	},
+}
+
+// Runner runs one trial of an algorithm and returns the commit ledger.
+type Runner interface {
+	Name() string
+	Run(g *graph.Graph, assignment []int64, seed uint64) (*runtime.Result, error)
+}
+
+// MessagePassing wraps a runtime.Algorithm as a Runner.
+func MessagePassing(alg runtime.Algorithm) Runner {
+	return mpRunner{alg: alg}
+}
+
+type mpRunner struct{ alg runtime.Algorithm }
+
+func (r mpRunner) Name() string { return r.alg.Name() }
+
+func (r mpRunner) Run(g *graph.Graph, assignment []int64, seed uint64) (*runtime.Result, error) {
+	return runtime.Run(g, r.alg, runtime.Config{IDs: assignment, Seed: seed})
+}
+
+// Charged wraps a locality-charged algorithm as a Runner.
+func Charged(name string, run func(g *graph.Graph, assignment []int64, seed uint64) (*runtime.Result, error)) Runner {
+	return chargedRunner{name: name, run: run}
+}
+
+type chargedRunner struct {
+	name string
+	run  func(*graph.Graph, []int64, uint64) (*runtime.Result, error)
+}
+
+func (r chargedRunner) Name() string { return r.name }
+
+func (r chargedRunner) Run(g *graph.Graph, assignment []int64, seed uint64) (*runtime.Result, error) {
+	return r.run(g, assignment, seed)
+}
+
+// DetMatchingRunner adapts matching.Det.
+func DetMatchingRunner() Runner {
+	return Charged(matching.Det{}.Name(), func(g *graph.Graph, _ []int64, _ uint64) (*runtime.Result, error) {
+		return matching.Det{}.Run(g)
+	})
+}
+
+// SinklessRunners returns the three Section 3.3 runners.
+func SinklessRunners() (detAvg, detWorst, rand Runner) {
+	detAvg = Charged(orient.DetAveraged{}.Name(), func(g *graph.Graph, assignment []int64, _ uint64) (*runtime.Result, error) {
+		return orient.DetAveraged{}.Run(g, assignment)
+	})
+	detWorst = Charged(orient.DetWorstCase{}.Name(), func(g *graph.Graph, assignment []int64, _ uint64) (*runtime.Result, error) {
+		return orient.DetWorstCase{}.Run(g, assignment)
+	})
+	rand = Charged(orient.RandMarking{}.Name(), func(g *graph.Graph, assignment []int64, seed uint64) (*runtime.Result, error) {
+		return orient.RandMarking{}.Run(g, assignment, seed)
+	})
+	return detAvg, detWorst, rand
+}
+
+// Report bundles the aggregated measures of a measurement run.
+type Report struct {
+	Graph     string
+	Algorithm string
+	Problem   string
+	Trials    int
+	// Definition 1 measures.
+	NodeAvg float64
+	EdgeAvg float64
+	// Appendix A measures.
+	ExpNode   float64
+	ExpEdge   float64
+	WorstMean float64
+	WorstMax  float64
+	// One-sided edge average (footnote 2); only for node-output problems.
+	OneSidedEdgeAvg float64
+	Messages        float64 // mean messages per trial (message-passing only)
+}
+
+// MeasureOptions configures a measurement run.
+type MeasureOptions struct {
+	Trials int    // number of independent trials (default 1)
+	Seed   uint64 // master seed for identifiers and algorithm randomness
+}
+
+// Measure runs trials of runner on g, validates each output against prob,
+// and aggregates the paper's complexity measures.
+func Measure(g *graph.Graph, prob Problem, runner Runner, opt MeasureOptions) (*Report, error) {
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 1
+	}
+	agg := measure.NewAgg(g.N(), g.M())
+	var oneSidedSum, msgSum float64
+	rng := rand.New(rand.NewPCG(opt.Seed, 0x5D2F1A))
+	for trial := 0; trial < trials; trial++ {
+		assignment := ids.RandomPerm(g.N(), rng)
+		res, err := runner.Run(g, assignment, opt.Seed+uint64(trial)*0x9E3779B9)
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d: %w", trial, err)
+		}
+		if err := prob.Validate(g, res); err != nil {
+			return nil, fmt.Errorf("core: trial %d output invalid: %w", trial, err)
+		}
+		tm, err := measure.Completion(g, res, prob.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d: %w", trial, err)
+		}
+		agg.Add(tm)
+		msgSum += float64(res.Messages)
+		if prob.Kind == runtime.NodeOutputs {
+			one, err := measure.OneSidedEdgeTimes(g, res)
+			if err == nil {
+				var s float64
+				for _, x := range one {
+					s += float64(x)
+				}
+				if len(one) > 0 {
+					oneSidedSum += s / float64(len(one))
+				}
+			}
+		}
+	}
+	return &Report{
+		Graph:           g.String(),
+		Algorithm:       runner.Name(),
+		Problem:         prob.Name,
+		Trials:          trials,
+		NodeAvg:         agg.NodeAvg(),
+		EdgeAvg:         agg.EdgeAvg(),
+		ExpNode:         agg.ExpNode(),
+		ExpEdge:         agg.ExpEdge(),
+		WorstMean:       agg.WorstMean(),
+		WorstMax:        agg.WorstMax(),
+		OneSidedEdgeAvg: oneSidedSum / float64(trials),
+		Messages:        msgSum / float64(trials),
+	}, nil
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"avgloc/internal/alg/mis"
+	"avgloc/internal/core"
+	"avgloc/internal/graph"
+	"avgloc/internal/runtime"
+)
+
+func TestMeasureRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g := graph.RandomRegular(100, 4, rng)
+	rep, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 3 || rep.NodeAvg <= 0 || rep.WorstMax < rep.NodeAvg {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	// Appendix A chain on the report level.
+	if rep.NodeAvg > rep.ExpNode+1e-9 || rep.ExpNode > rep.WorstMean+1e-9 || rep.WorstMean > rep.WorstMax+1e-9 {
+		t.Fatalf("measure chain violated: %+v", rep)
+	}
+	if rep.OneSidedEdgeAvg > rep.EdgeAvg {
+		t.Fatalf("one-sided average exceeds two-sided: %+v", rep)
+	}
+}
+
+// badAlg claims MIS membership for everyone.
+type badAlg struct{}
+
+func (badAlg) Name() string { return "test/bad" }
+func (badAlg) Node(runtime.NodeView) runtime.Program {
+	return badProg{}
+}
+
+type badProg struct{}
+
+func (badProg) Round(ctx *runtime.Context, _ []runtime.Message) {
+	ctx.CommitNode(true)
+	ctx.Halt()
+}
+
+func TestMeasureRejectsInvalidOutputs(t *testing.T) {
+	g := graph.Complete(4)
+	if _, err := core.Measure(g, core.MIS, core.MessagePassing(badAlg{}), core.MeasureOptions{Trials: 1}); err == nil {
+		t.Fatal("invalid MIS accepted")
+	}
+}
+
+func TestSinklessRunnersOnSmallGraph(t *testing.T) {
+	g := graph.Complete(5)
+	detAvg, detWorst, randMark := core.SinklessRunners()
+	for _, r := range []core.Runner{detAvg, detWorst, randMark} {
+		rep, err := core.Measure(g, core.SinklessOrientation, r, core.MeasureOptions{Trials: 1, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if rep.WorstMax < 0 {
+			t.Fatalf("%s: negative rounds", r.Name())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package graph
+
+// LineGraph returns the line graph L(g): one node per edge of g, with two
+// nodes adjacent iff the corresponding edges of g share an endpoint.
+//
+// The paper (Section 1.1) uses the identity "maximal matching of G = MIS of
+// L(G)": the node-averaged complexity of MIS on L(G) equals the
+// edge-averaged complexity of maximal matching on G. Node i of L(g) is edge
+// i of g.
+func LineGraph(g *Graph) *Graph {
+	b := NewBuilder(g.M())
+	seen := make(map[int64]struct{})
+	for v := 0; v < g.N(); v++ {
+		ids := g.EdgeIDs(v)
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, c := ids[i], ids[j]
+				if a == c {
+					continue // parallel edges of g map to the same line node
+				}
+				x, y := a, c
+				if x > y {
+					x, y = y, x
+				}
+				key := int64(x)<<32 | int64(y)
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				b.AddEdge(int(a), int(c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Power returns the t-th power graph G^t: same node set, with an edge
+// between any two distinct nodes at distance <= t in g. Used for the
+// (2r+1)-independent clustering of Theorem 6 and for ruling-set spacing.
+func Power(g *Graph, t int) *Graph {
+	if t <= 1 {
+		// Return a simple copy with parallel edges collapsed.
+		b := NewBuilder(g.N())
+		seen := make(map[int64]struct{}, g.M())
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(e)
+			key := int64(u)<<32 | int64(v)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			b.AddEdge(u, v)
+		}
+		return b.MustBuild()
+	}
+	b := NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.BallNodes(v, t) {
+			if int(u) > v {
+				b.AddEdge(v, int(u))
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Cycle returns the n-node cycle C_n (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: cycle needs n >= 3, got %d", n))
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	return b.MustBuild()
+}
+
+// Path returns the n-node path P_n.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.MustBuild()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.MustBuild()
+}
+
+// CompleteBipartite returns K_{a,b}; the first a nodes form one side.
+func CompleteBipartite(a, b int) *Graph {
+	bl := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bl.AddEdge(u, a+v)
+		}
+	}
+	return bl.MustBuild()
+}
+
+// Grid returns the rows x cols grid graph.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(at(r, c), at(r+1, c))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Torus returns the rows x cols toroidal grid (4-regular when both >= 3).
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: torus needs rows, cols >= 3, got %dx%d", rows, cols))
+	}
+	b := NewBuilder(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			b.AddEdge(at(r, c), at(r, (c+1)%cols))
+			b.AddEdge(at(r, c), at((r+1)%rows, c))
+		}
+	}
+	return b.MustBuild()
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			u := v ^ (1 << i)
+			if u > v {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes built from
+// a random Prüfer-like attachment sequence.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.IntN(v))
+	}
+	return b.MustBuild()
+}
+
+// GNP returns an Erdős–Rényi graph G(n, p).
+func GNP(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomRegular returns a simple random d-regular graph on n nodes via the
+// configuration model with double-edge-swap repair of self-loops and
+// parallel edges (n*d must be even, d < n).
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 {
+		panic(fmt.Sprintf("graph: n*d must be even, got n=%d d=%d", n, d))
+	}
+	if d >= n {
+		panic(fmt.Sprintf("graph: need d < n, got n=%d d=%d", n, d))
+	}
+	if d == 0 {
+		return NewBuilder(n).MustBuild()
+	}
+	stubs := make([]int32, n*d)
+	for i := range stubs {
+		stubs[i] = int32(i / d)
+	}
+	rng.Shuffle(len(stubs), func(i, j int) {
+		stubs[i], stubs[j] = stubs[j], stubs[i]
+	})
+	pairs := len(stubs) / 2
+	pairAt := func(i int) (int32, int32) { return stubs[2*i], stubs[2*i+1] }
+	key := func(u, v int32) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	count := make(map[int64]int, pairs)
+	bad := func(i int) bool {
+		u, v := pairAt(i)
+		return u == v || count[key(u, v)] > 1
+	}
+	for i := 0; i < pairs; i++ {
+		u, v := pairAt(i)
+		if u != v {
+			count[key(u, v)]++
+		}
+	}
+	// Repair: rewire each offending pair against a random partner pair.
+	for attempt := 0; attempt < 1000*pairs; attempt++ {
+		fixed := true
+		for i := 0; i < pairs; i++ {
+			if !bad(i) {
+				continue
+			}
+			fixed = false
+			j := rng.IntN(pairs)
+			if j == i {
+				continue
+			}
+			a, b := pairAt(i)
+			c, e := pairAt(j)
+			// Propose the swap (a,c),(b,e); require it to be clean.
+			if a == c || b == e {
+				continue
+			}
+			if count[key(a, c)] > 0 || count[key(b, e)] > 0 {
+				continue
+			}
+			if a != b {
+				count[key(a, b)]--
+			}
+			if c != e {
+				count[key(c, e)]--
+			}
+			count[key(a, c)]++
+			count[key(b, e)]++
+			stubs[2*i], stubs[2*i+1] = a, c
+			stubs[2*j], stubs[2*j+1] = b, e
+		}
+		if fixed {
+			edges := make([][2]int32, pairs)
+			for i := range edges {
+				u, v := pairAt(i)
+				edges[i] = [2]int32{u, v}
+			}
+			g, err := fromEdges(n, edges)
+			if err != nil {
+				panic(err)
+			}
+			return g
+		}
+	}
+	panic("graph: configuration model repair did not converge")
+}
+
+// RandomBipartiteRegular returns a bipartite d-regular graph on 2n nodes
+// (sides {0..n-1} and {n..2n-1}) as a union of d random perfect matchings,
+// resampling until simple. Bipartite regular graphs have even girth >= 4,
+// making them a convenient moderately-high-girth workload.
+func RandomBipartiteRegular(n, d int, rng *rand.Rand) *Graph {
+	if d > n {
+		panic(fmt.Sprintf("graph: need d <= n, got n=%d d=%d", n, d))
+	}
+	perm := make([]int32, n)
+	for attempt := 0; ; attempt++ {
+		seen := make(map[int64]struct{}, n*d)
+		edges := make([][2]int32, 0, n*d)
+		ok := true
+		for k := 0; k < d && ok; k++ {
+			for i := range perm {
+				perm[i] = int32(i)
+			}
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			for u := 0; u < n; u++ {
+				v := int32(n) + perm[u]
+				key := int64(u)<<32 | int64(v)
+				if _, dup := seen[key]; dup {
+					ok = false
+					break
+				}
+				seen[key] = struct{}{}
+				edges = append(edges, [2]int32{int32(u), v})
+			}
+		}
+		if ok {
+			g, err := fromEdges(2*n, edges)
+			if err == nil {
+				return g
+			}
+		}
+		if attempt > 200*n {
+			panic("graph: bipartite regular sampling failed")
+		}
+	}
+}
+
+// Disjoint returns the disjoint union of gs, relabelling nodes in order.
+// The second return value gives the node-index offset of each input graph.
+func Disjoint(gs ...*Graph) (*Graph, []int) {
+	n := 0
+	offsets := make([]int, len(gs))
+	for i, g := range gs {
+		offsets[i] = n
+		n += g.N()
+	}
+	b := NewBuilder(n)
+	for i, g := range gs {
+		off := offsets[i]
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(e)
+			b.AddEdge(off+u, off+v)
+		}
+	}
+	return b.MustBuild(), offsets
+}

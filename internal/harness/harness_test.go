@@ -1,0 +1,107 @@
+package harness_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"avgloc/internal/harness"
+)
+
+// TestAllExperimentsQuick runs every experiment at Quick scale and checks
+// basic table well-formedness. The qualitative shape assertions live in
+// the focused tests below and in the per-package tests.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range harness.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tab, err := e.Run(harness.Quick, 42)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: empty table", e.ID)
+			}
+			for _, r := range tab.Rows {
+				if len(r) != len(tab.Columns) {
+					t.Fatalf("%s: row width %d != %d columns", e.ID, len(r), len(tab.Columns))
+				}
+			}
+			if !strings.Contains(tab.String(), e.ID) {
+				t.Fatalf("%s: rendering lacks id", e.ID)
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := harness.Run("E99", harness.Quick, 1); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func cell(t *testing.T, tab *harness.Table, row int, col string) float64 {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == col {
+			v, err := strconv.ParseFloat(tab.Rows[row][i], 64)
+			if err != nil {
+				t.Fatalf("cell %q: %v", tab.Rows[row][i], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no column %q", col)
+	return 0
+}
+
+func TestE1Shape(t *testing.T) {
+	tab, err := harness.Run("E1", harness.Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem 2 vs Theorem 16: in every row, the ruling-set node average
+	// stays below the MIS node averages... at the very least below Luby's
+	// on the largest degree, and bounded by a small constant.
+	for r := range tab.Rows {
+		rs := cell(t, tab, r, "rs22 nodeAvg")
+		if rs > 15 {
+			t.Fatalf("row %d: rs22 node average %v too large for O(1)", r, rs)
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tab, err := harness.Run("E10", harness.Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(tab.Rows) - 1
+	detSmall, detBig := cell(t, tab, 0, "det nodeAvg"), cell(t, tab, last, "det nodeAvg")
+	lubySmall, lubyBig := cell(t, tab, 0, "luby nodeAvg"), cell(t, tab, last, "luby nodeAvg")
+	// Deterministic node average grows (log* n with our palette constants)
+	// while Luby's stays within a constant band.
+	if detBig <= detSmall {
+		t.Fatalf("deterministic node average should grow: %v -> %v", detSmall, detBig)
+	}
+	if lubyBig > 3*lubySmall+3 {
+		t.Fatalf("Luby node average should stay O(1): %v -> %v", lubySmall, lubyBig)
+	}
+}
+
+func TestE12ChainHolds(t *testing.T) {
+	tab, err := harness.Run("E12", harness.Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "chain holds: true") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("measure chain violated: %v", tab.Notes)
+	}
+}

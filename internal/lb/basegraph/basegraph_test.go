@@ -1,0 +1,151 @@
+package basegraph_test
+
+import (
+	"testing"
+
+	"avgloc/internal/graph"
+	"avgloc/internal/lb/basegraph"
+)
+
+func TestBuildValidatesDefiningProperty(t *testing.T) {
+	for _, p := range []basegraph.Params{
+		{K: 0, Beta: 4},
+		{K: 0, Beta: 6},
+		{K: 1, Beta: 4},
+		{K: 1, Beta: 6},
+		{K: 2, Beta: 4},
+	} {
+		inst, err := basegraph.Build(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+	}
+}
+
+func TestBuildRejectsBadParams(t *testing.T) {
+	if _, err := basegraph.Build(basegraph.Params{K: 1, Beta: 5}); err == nil {
+		t.Fatal("odd beta accepted")
+	}
+	if _, err := basegraph.Build(basegraph.Params{K: 1, Beta: 2}); err == nil {
+		t.Fatal("beta < 4 accepted")
+	}
+	if _, err := basegraph.Build(basegraph.Params{K: -1, Beta: 4}); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestLemma13Bounds(t *testing.T) {
+	p := basegraph.Params{K: 1, Beta: 4}
+	inst, err := basegraph.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total nodes O(β^{2k+2}) and max degree <= 2β^{k+1}.
+	if maxDeg, bound := inst.G.MaxDegree(), 2*16; maxDeg > bound {
+		t.Fatalf("max degree %d > %d", maxDeg, bound)
+	}
+	// S(c0) is an independent set.
+	inS0 := make([]bool, inst.G.N())
+	for _, v := range inst.Clusters[0] {
+		inS0[v] = true
+	}
+	if err := graph.IsIndependentSet(inst.G, inS0); err != nil {
+		t.Fatalf("S(c0) not independent: %v", err)
+	}
+	// S(c0) holds the majority scale: |S(c0)|/(total) should be the
+	// largest single cluster.
+	for v := 1; v < len(inst.Clusters); v++ {
+		if len(inst.Clusters[v]) > len(inst.Clusters[0]) {
+			t.Fatalf("cluster %d larger than S(c0)", v)
+		}
+	}
+	// Independence bound via clique cover: exercised by an exact greedy
+	// check on one non-root cluster.
+	for v := 1; v < len(inst.Clusters); v++ {
+		keep := make([]bool, inst.G.N())
+		for _, x := range inst.Clusters[v] {
+			keep[x] = true
+		}
+		sub, _, _ := inst.G.InducedSubgraph(keep)
+		// Greedy IS size is a lower bound for α, so it must respect the
+		// clique-cover upper bound.
+		greedy := 0
+		blocked := make([]bool, sub.N())
+		for x := 0; x < sub.N(); x++ {
+			if blocked[x] {
+				continue
+			}
+			greedy++
+			blocked[x] = true
+			for _, y := range sub.Neighbors(x) {
+				blocked[y] = true
+			}
+		}
+		if bound := inst.IndependenceBound(v); greedy > bound {
+			t.Fatalf("cluster %d: greedy IS %d exceeds clique-cover bound %d", v, greedy, bound)
+		}
+	}
+}
+
+func TestClusterSizes(t *testing.T) {
+	// |S(v)| = 2β^{k+1}(β/2)^{k+1-d(v)}; the ratio between consecutive
+	// depths is β/2.
+	inst, err := basegraph.Build(basegraph.Params{K: 1, Beta: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, nd := range inst.CT.Nodes {
+		if nd.Parent < 0 {
+			continue
+		}
+		ratio := float64(len(inst.Clusters[nd.Parent])) / float64(len(inst.Clusters[v]))
+		if ratio != 3 { // β/2
+			t.Fatalf("cluster %d: parent/child size ratio %v, want 3", v, ratio)
+		}
+	}
+}
+
+func TestArcLabels(t *testing.T) {
+	inst, err := basegraph.Build(basegraph.Params{K: 1, Beta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observation 9: internal-cluster nodes have exactly 2β^i outgoing
+	// arcs labeled β^i for all i in {0..k}; leaf-cluster nodes have 2β^i
+	// for exactly one i.
+	g := inst.G
+	for v := 0; v < g.N(); v++ {
+		counts := map[int]int{}
+		for _, u := range g.Neighbors(v) {
+			l, ok := inst.Label(int32(v), u)
+			if !ok {
+				t.Fatalf("arc %d→%d unlabeled", v, u)
+			}
+			counts[int(l.Exp)]++
+		}
+		sk := inst.CT.Nodes[inst.ClusterOf[v]]
+		if sk.Internal {
+			for i := 0; i <= inst.Params.K; i++ {
+				want := 2 * powInt(inst.Params.Beta, i)
+				if counts[i] != want {
+					t.Fatalf("internal node %d: %d arcs at exponent %d, want %d", v, counts[i], i, want)
+				}
+			}
+		} else {
+			if len(counts) != 1 {
+				t.Fatalf("leaf node %d has %d label classes, want 1", v, len(counts))
+			}
+		}
+	}
+}
+
+func powInt(b, e int) int {
+	out := 1
+	for ; e > 0; e-- {
+		out *= b
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package clustertree builds the cluster tree skeletons CT_k of
+// Section 4.3 — the blueprint of the paper's lower-bound graph family 𝒢_k.
+// A skeleton is a tree (plus one self-loop per non-root node) whose
+// directed edges carry labels β^i or 2β^i prescribing how many neighbors
+// each cluster's nodes must have in the adjacent cluster. Figure 1 of the
+// paper shows CT_0, CT_1, CT_2; cmd/ctgen regenerates them.
+package clustertree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a skeleton node. Node 0 is always c0 (the special independent
+// cluster) and node 1 is c1.
+type Node struct {
+	// Parent is the parent skeleton node (-1 for c0).
+	Parent int
+	// Internal reports whether the node is internal in CT_k (the paper's
+	// squares); leaves are circles.
+	Internal bool
+	// Psi is the self-loop exponent ψ(v) (Observation 7); -1 for c0,
+	// which has no self-loop.
+	Psi int
+	// Depth is the hop distance from c0.
+	Depth int
+}
+
+// Edge is a directed labeled skeleton edge: label = β^Exp, doubled to
+// 2·β^Exp when Double is set. Self-loops have From == To.
+type Edge struct {
+	From, To int
+	Exp      int
+	Double   bool
+}
+
+// Skeleton is the cluster tree CT_k.
+type Skeleton struct {
+	K     int
+	Nodes []Node
+	Edges []Edge
+}
+
+// Build constructs CT_k by the inductive definition of Section 4.3.
+func Build(k int) (*Skeleton, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("clustertree: k must be >= 0, got %d", k)
+	}
+	// Base case CT_0: V = {c0, c1},
+	// E = {(c0,c1,2β⁰), (c1,c0,β¹), (c1,c1,β¹)}.
+	s := &Skeleton{
+		K: 0,
+		Nodes: []Node{
+			{Parent: -1, Internal: true, Psi: -1, Depth: 0},
+			{Parent: 0, Internal: false, Psi: 1, Depth: 1},
+		},
+		Edges: []Edge{
+			{From: 0, To: 1, Exp: 0, Double: true},
+			{From: 1, To: 0, Exp: 1},
+			{From: 1, To: 1, Exp: 1},
+		},
+	}
+	for step := 1; step <= k; step++ {
+		s = extend(s, step)
+	}
+	return s, nil
+}
+
+// extend performs the inductive step CT_{step-1} → CT_step.
+func extend(prev *Skeleton, step int) *Skeleton {
+	s := &Skeleton{
+		K:     step,
+		Nodes: append([]Node(nil), prev.Nodes...),
+		Edges: append([]Edge(nil), prev.Edges...),
+	}
+	addLeaf := func(parent, exp int) {
+		// Edges (parent, ℓ, 2β^exp), (ℓ, parent, β^{exp+1}) and the
+		// self-loop (ℓ, ℓ, β^{exp+1}).
+		leaf := len(s.Nodes)
+		s.Nodes = append(s.Nodes, Node{
+			Parent:   parent,
+			Internal: false,
+			Psi:      exp + 1,
+			Depth:    s.Nodes[parent].Depth + 1,
+		})
+		s.Edges = append(s.Edges,
+			Edge{From: parent, To: leaf, Exp: exp, Double: true},
+			Edge{From: leaf, To: parent, Exp: exp + 1},
+			Edge{From: leaf, To: leaf, Exp: exp + 1},
+		)
+	}
+	for v := range prev.Nodes {
+		if prev.Nodes[v].Internal {
+			// Internal nodes receive one new leaf via (v, ℓ, 2β^step).
+			addLeaf(v, step)
+			continue
+		}
+		// A leaf u connected to its parent by (u, p(u), β^i) receives a
+		// leaf ℓ_j for every j in {0..step} \ {i} and becomes internal.
+		i := prev.Nodes[v].Psi // (u,p(u)) carries β^Psi by Observation 7
+		for j := 0; j <= step; j++ {
+			if j == i {
+				continue
+			}
+			addLeaf(v, j)
+		}
+		s.Nodes[v].Internal = true
+	}
+	return s
+}
+
+// Children returns v's children in the skeleton.
+func (s *Skeleton) Children(v int) []int {
+	var out []int
+	for u := range s.Nodes {
+		if s.Nodes[u].Parent == v {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// OutEdges returns v's outgoing non-self-loop edges.
+func (s *Skeleton) OutEdges(v int) []Edge {
+	var out []Edge
+	for _, e := range s.Edges {
+		if e.From == v && e.To != v {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SelfLoop returns v's self-loop edge and whether it exists.
+func (s *Skeleton) SelfLoop(v int) (Edge, bool) {
+	for _, e := range s.Edges {
+		if e.From == v && e.To == v {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// Validate checks the structural invariants of Observation 7:
+//  1. every node but c0 has a self-loop with exponent ψ(v);
+//  2. every node but c0 has a parent with the edge pattern
+//     (v,p,β^{i+1}), (p,v,2β^i), (v,v,β^{i+1});
+//  3. internal nodes v != c0 have exactly K children reached by
+//     (v,u_j,2β^j) for j in {0..K} \ {ψ(v)};
+//  4. c0 has K+1 children reached by (c0,u_j,2β^j), j in {0..K}.
+func (s *Skeleton) Validate() error {
+	for v, nd := range s.Nodes {
+		if v == 0 {
+			if _, has := s.SelfLoop(0); has {
+				return fmt.Errorf("clustertree: c0 must have no self-loop")
+			}
+			continue
+		}
+		loop, has := s.SelfLoop(v)
+		if !has {
+			return fmt.Errorf("clustertree: node %d lacks a self-loop", v)
+		}
+		if loop.Exp != nd.Psi || loop.Double {
+			return fmt.Errorf("clustertree: node %d self-loop β^%d != ψ=%d", v, loop.Exp, nd.Psi)
+		}
+		p := nd.Parent
+		if p < 0 {
+			return fmt.Errorf("clustertree: node %d has no parent", v)
+		}
+		up, down := Edge{}, Edge{}
+		foundUp, foundDown := false, false
+		for _, e := range s.Edges {
+			if e.From == v && e.To == p {
+				up, foundUp = e, true
+			}
+			if e.From == p && e.To == v {
+				down, foundDown = e, true
+			}
+		}
+		if !foundUp || !foundDown {
+			return fmt.Errorf("clustertree: node %d missing parent edge pair", v)
+		}
+		if up.Double || down.Exp != up.Exp-1 || !down.Double {
+			return fmt.Errorf("clustertree: node %d parent labels inconsistent: up β^%d, down 2β^%d", v, up.Exp, down.Exp)
+		}
+		if up.Exp != nd.Psi {
+			return fmt.Errorf("clustertree: node %d: up exponent %d != ψ %d", v, up.Exp, nd.Psi)
+		}
+	}
+	// Children label sets.
+	for v, nd := range s.Nodes {
+		if !nd.Internal {
+			continue
+		}
+		want := map[int]bool{}
+		for j := 0; j <= s.K; j++ {
+			want[j] = true
+		}
+		if v != 0 {
+			delete(want, nd.Psi)
+		}
+		got := map[int]bool{}
+		for _, u := range s.Children(v) {
+			for _, e := range s.Edges {
+				if e.From == v && e.To == u {
+					if !e.Double {
+						return fmt.Errorf("clustertree: child edge (%d,%d) not doubled", v, u)
+					}
+					if got[e.Exp] {
+						return fmt.Errorf("clustertree: node %d has two children at exponent %d", v, e.Exp)
+					}
+					got[e.Exp] = true
+				}
+			}
+		}
+		for j := range want {
+			if !got[j] {
+				return fmt.Errorf("clustertree: node %d missing child exponent %d", v, j)
+			}
+		}
+		for j := range got {
+			if !want[j] {
+				return fmt.Errorf("clustertree: node %d has unexpected child exponent %d", v, j)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the skeleton in the style of Figure 1.
+func (s *Skeleton) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CT_%d: %d cluster nodes\n", s.K, len(s.Nodes))
+	for v, nd := range s.Nodes {
+		shape := "circle"
+		if nd.Internal {
+			shape = "square"
+		}
+		name := fmt.Sprintf("v%d", v)
+		switch v {
+		case 0:
+			name = "c0"
+		case 1:
+			name = "c1"
+		}
+		fmt.Fprintf(&b, "  %s (%s, depth %d", name, shape, nd.Depth)
+		if nd.Psi >= 0 {
+			fmt.Fprintf(&b, ", self-loop β^%d", nd.Psi)
+		}
+		b.WriteString(")")
+		if nd.Parent >= 0 {
+			fmt.Fprintf(&b, " parent v%d", nd.Parent)
+		}
+		var kids []string
+		for _, e := range s.OutEdges(v) {
+			if s.Nodes[e.To].Parent == v {
+				kids = append(kids, fmt.Sprintf("v%d via 2β^%d", e.To, e.Exp))
+			}
+		}
+		if len(kids) > 0 {
+			fmt.Fprintf(&b, " children: %s", strings.Join(kids, ", "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package clustertree_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"avgloc/internal/lb/clustertree"
+)
+
+func TestBuildSmall(t *testing.T) {
+	// Figure 1 of the paper: CT_0 has 2 nodes, CT_1 has 4, CT_2 has 10.
+	wantNodes := []int{2, 4, 10, 32}
+	for k, want := range wantNodes {
+		s, err := clustertree.Build(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Nodes) != want {
+			t.Fatalf("CT_%d: %d nodes, want %d", k, len(s.Nodes), want)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("CT_%d: %v", k, err)
+		}
+	}
+}
+
+func TestBuildNegative(t *testing.T) {
+	if _, err := clustertree.Build(-1); err == nil {
+		t.Fatal("expected error for k < 0")
+	}
+}
+
+func TestCT0Exact(t *testing.T) {
+	s, err := clustertree.Build(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Nodes[0].Internal || s.Nodes[1].Internal {
+		t.Fatal("c0 internal, c1 leaf in CT_0")
+	}
+	if s.Nodes[1].Psi != 1 {
+		t.Fatalf("ψ(c1)=%d, want 1", s.Nodes[1].Psi)
+	}
+	if len(s.Edges) != 3 {
+		t.Fatalf("CT_0 has %d edges, want 3", len(s.Edges))
+	}
+}
+
+func TestChildrenOfC0(t *testing.T) {
+	// Observation 7.4: c0 has k+1 children via 2β^j for j in {0..k}.
+	for k := 0; k <= 4; k++ {
+		s, err := clustertree.Build(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kids := s.Children(0)
+		if len(kids) != k+1 {
+			t.Fatalf("CT_%d: c0 has %d children, want %d", k, len(kids), k+1)
+		}
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	// d(v) <= k+1 for all nodes of CT_k (Section 4.6).
+	for k := 0; k <= 4; k++ {
+		s, _ := clustertree.Build(k)
+		for v, nd := range s.Nodes {
+			if nd.Depth > k+1 {
+				t.Fatalf("CT_%d: node %d at depth %d > k+1", k, v, nd.Depth)
+			}
+		}
+	}
+}
+
+// Property: Validate passes for all constructible k and Observation 7.2
+// holds: ψ exponents never exceed k+1.
+func TestSkeletonProperty(t *testing.T) {
+	f := func(kk uint8) bool {
+		k := int(kk % 6)
+		s, err := clustertree.Build(k)
+		if err != nil {
+			return false
+		}
+		if s.Validate() != nil {
+			return false
+		}
+		for v, nd := range s.Nodes {
+			if v == 0 {
+				continue
+			}
+			if nd.Psi < 1 || nd.Psi > k+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

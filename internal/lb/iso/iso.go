@@ -1,0 +1,245 @@
+// Package iso implements Algorithm 1 of the paper (Appendix C.1, after
+// [CL21]): given a cluster-tree graph whose arcs carry the Definition 8
+// labels, it builds an explicit isomorphism between the radius-k views of
+// a node v0 ∈ S(c0) and a node v1 ∈ S(c1) whose balls are tree-like —
+// the k-hop indistinguishability of Theorem 11. An independent
+// AHU-style canonical view hash cross-checks the result.
+package iso
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"avgloc/internal/graph"
+	"avgloc/internal/lb/basegraph"
+)
+
+// Labeled is a graph whose arcs carry Definition 8 labels. Both
+// basegraph.Instance and lift.Instance satisfy it.
+type Labeled interface {
+	// Graph returns the underlying simple graph.
+	Graph() *graph.Graph
+	// Label returns the label of the arc u→v.
+	Label(u, v int32) (basegraph.ArcLabel, bool)
+	// MaxExp returns the largest label exponent (k+1 for CT_k).
+	MaxExp() int
+}
+
+// FindIsomorphism runs Algorithm 1: it returns φ mapping every node of
+// v0's radius-k view to v1's. The caller must ensure both balls are
+// tree-like (Theorem 11's precondition); inconsistent list lengths — which
+// the paper proves cannot happen — are reported as errors.
+func FindIsomorphism(inst Labeled, k int, v0, v1 int32) (map[int32]int32, error) {
+	w := &walker{inst: inst, g: inst.Graph(), k: k, phi: map[int32]int32{v0: v1}}
+	if err := w.walk(v0, v1, -1, -1, k); err != nil {
+		return nil, err
+	}
+	return w.phi, nil
+}
+
+type walker struct {
+	inst Labeled
+	g    *graph.Graph
+	k    int
+	phi  map[int32]int32
+}
+
+// neighborLists groups v's neighbors by outgoing arc label exponent,
+// excluding prev, with self-labeled arcs first (lines 9–13 of
+// Algorithm 1).
+func (w *walker) neighborLists(v, prev int32) ([][]int32, error) {
+	lists := make([][]int32, w.inst.MaxExp()+1)
+	type entry struct {
+		node int32
+		self bool
+	}
+	byExp := make(map[int][]entry)
+	for _, u := range w.g.Neighbors(int(v)) {
+		if u == prev {
+			continue
+		}
+		l, ok := w.inst.Label(v, u)
+		if !ok {
+			return nil, fmt.Errorf("iso: arc %d→%d unlabeled", v, u)
+		}
+		byExp[int(l.Exp)] = append(byExp[int(l.Exp)], entry{node: u, self: l.Self})
+	}
+	for exp, es := range byExp {
+		if exp < 0 || exp >= len(lists) {
+			return nil, fmt.Errorf("iso: label exponent %d out of range", exp)
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].self != es[j].self {
+				return es[i].self // self-labeled arcs first
+			}
+			return es[i].node < es[j].node
+		})
+		out := make([]int32, len(es))
+		for i, e := range es {
+			out[i] = e.node
+		}
+		lists[exp] = out
+	}
+	return lists, nil
+}
+
+func (w *walker) walk(v, wNode, prevV, prevW int32, depth int) error {
+	if depth == 0 {
+		return nil
+	}
+	nv, err := w.neighborLists(v, prevV)
+	if err != nil {
+		return err
+	}
+	nw, err := w.neighborLists(wNode, prevW)
+	if err != nil {
+		return err
+	}
+	if err := w.mapLists(v, wNode, nv, nw); err != nil {
+		return err
+	}
+	for _, list := range nv {
+		for _, vp := range list {
+			if err := w.walk(vp, w.phi[vp], v, wNode, depth-1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mapLists is the Map routine of Algorithm 1: zip equal-length prefixes
+// and, when exactly one pair of exponents disagrees by one in opposite
+// directions (the Lemma 19 situation), match the two leftovers.
+func (w *walker) mapLists(v, wNode int32, nv, nw [][]int32) error {
+	for i := range nv {
+		n := min(len(nv[i]), len(nw[i]))
+		for j := 0; j < n; j++ {
+			w.phi[nv[i][j]] = nw[i][j]
+		}
+	}
+	iv, iw := -1, -1
+	for i := range nv {
+		switch {
+		case len(nv[i]) == len(nw[i]):
+		case len(nv[i]) == len(nw[i])+1 && iv < 0:
+			iv = i
+		case len(nv[i])+1 == len(nw[i]) && iw < 0:
+			iw = i
+		default:
+			return fmt.Errorf("iso: lists at node pair (%d,%d) exponent %d differ by more than one (%d vs %d)",
+				v, wNode, i, len(nv[i]), len(nw[i]))
+		}
+	}
+	switch {
+	case iv < 0 && iw < 0:
+		return nil
+	case iv >= 0 && iw >= 0:
+		w.phi[nv[iv][len(nv[iv])-1]] = nw[iw][len(nw[iw])-1]
+		return nil
+	default:
+		return fmt.Errorf("iso: unbalanced mismatch at node pair (%d,%d)", v, wNode)
+	}
+}
+
+// VerifyViewIsomorphism checks that φ is a valid isomorphism between the
+// radius-k views of v0 and v1: every view node is mapped injectively, and
+// walking any view edge commutes with φ (tree views make a parent-wise
+// check sufficient, but adjacency is verified for every mapped pair within
+// radius k-1 in full).
+func VerifyViewIsomorphism(g *graph.Graph, phi map[int32]int32, v0, v1 int32, k int) error {
+	if phi[v0] != v1 {
+		return fmt.Errorf("iso: φ(%d)=%d, want %d", v0, phi[v0], v1)
+	}
+	inverse := make(map[int32]int32, len(phi))
+	for a, b := range phi {
+		if prev, dup := inverse[b]; dup {
+			return fmt.Errorf("iso: φ not injective: %d and %d both map to %d", prev, a, b)
+		}
+		inverse[b] = a
+	}
+	// Every node within distance k-1 of v0 must be mapped with its degree
+	// preserved and its neighborhood mapped onto the image's neighborhood.
+	dist := ballDistances(g, v0, k)
+	for node, d := range dist {
+		img, ok := phi[node]
+		if !ok {
+			return fmt.Errorf("iso: node %d (distance %d) unmapped", node, d)
+		}
+		if d >= k {
+			continue // frontier: only the tree edge is part of the view
+		}
+		if g.Deg(int(node)) != g.Deg(int(img)) {
+			return fmt.Errorf("iso: degree mismatch at %d→%d", node, img)
+		}
+		imgNbrs := map[int32]bool{}
+		for _, u := range g.Neighbors(int(img)) {
+			imgNbrs[u] = true
+		}
+		for _, u := range g.Neighbors(int(node)) {
+			ui, ok := phi[u]
+			if !ok {
+				return fmt.Errorf("iso: neighbor %d of %d unmapped", u, node)
+			}
+			if !imgNbrs[ui] {
+				return fmt.Errorf("iso: edge (%d,%d) not preserved by φ", node, u)
+			}
+		}
+	}
+	return nil
+}
+
+func ballDistances(g *graph.Graph, v int32, r int) map[int32]int {
+	dist := map[int32]int{v: 0}
+	queue := []int32{v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if dist[x] >= r {
+			continue
+		}
+		for _, u := range g.Neighbors(int(x)) {
+			if _, seen := dist[u]; !seen {
+				dist[u] = dist[x] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// ViewHash returns a canonical hash of the radius-r view of v: the
+// universal-cover unrolling to depth r, hashed AHU-style (children hashes
+// sorted and combined). Two nodes with isomorphic radius-r views hash
+// equally; distinct views collide only with hash probability.
+func ViewHash(g *graph.Graph, v, r int) uint64 {
+	return unroll(g, int32(v), -1, r)
+}
+
+// unroll hashes the depth-r unrolling of the view at x arrived at from
+// parent (exclude the arrival port once — multi-edges unroll separately).
+func unroll(g *graph.Graph, x, fromPort int32, depth int) uint64 {
+	if depth == 0 {
+		return 0x9E3779B97F4A7C15
+	}
+	var child []uint64
+	for p := 0; p < g.Deg(int(x)); p++ {
+		if int32(p) == fromPort {
+			continue
+		}
+		u := g.Neighbor(int(x), p)
+		back := int32(g.TwinPort(int(x), p))
+		child = append(child, unroll(g, int32(u), back, depth-1))
+	}
+	sort.Slice(child, func(i, j int) bool { return child[i] < child[j] })
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range child {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(c >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,121 @@
+package iso_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"avgloc/internal/graph"
+	"avgloc/internal/lb/basegraph"
+	"avgloc/internal/lb/iso"
+	"avgloc/internal/lb/lift"
+)
+
+// treelikePair finds one node per special cluster whose radius-k ball is a
+// tree (Theorem 11's precondition).
+func treelikePair(t *testing.T, inst iso.Labeled, c0, c1 []int32, k int) (int32, int32) {
+	t.Helper()
+	g := inst.Graph()
+	find := func(cluster []int32) int32 {
+		for _, v := range cluster {
+			if g.TreelikeBall(int(v), k) {
+				return v
+			}
+		}
+		return -1
+	}
+	v0, v1 := find(c0), find(c1)
+	if v0 < 0 || v1 < 0 {
+		t.Fatalf("no tree-like nodes at radius %d (v0=%d v1=%d)", k, v0, v1)
+	}
+	return v0, v1
+}
+
+func TestTheorem11OnBaseK1(t *testing.T) {
+	// At k=1 every simple-graph ball is tree-like (frontier edges are
+	// excluded from views), so the base graph suffices.
+	base, err := basegraph.Build(basegraph.Params{K: 1, Beta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, v1 := treelikePair(t, base, base.Clusters[0], base.Clusters[1], 1)
+	phi, err := iso.FindIsomorphism(base, 1, v0, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.VerifyViewIsomorphism(base.G, phi, v0, v1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if h0, h1 := iso.ViewHash(base.G, int(v0), 1), iso.ViewHash(base.G, int(v1), 1); h0 != h1 {
+		t.Fatalf("radius-1 view hashes differ: %x vs %x", h0, h1)
+	}
+}
+
+func TestTheorem11OnLiftedK1(t *testing.T) {
+	base, err := basegraph.Build(basegraph.Params{K: 1, Beta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(81, 82))
+	inst, err := lift.BuildInstance(base, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, v1 := treelikePair(t, inst, inst.Cluster(0), inst.Cluster(1), 1)
+	phi, err := iso.FindIsomorphism(inst, 1, v0, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iso.VerifyViewIsomorphism(inst.G, phi, v0, v1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem11UniversalCoverK2(t *testing.T) {
+	// Exact-parameter lifts for k >= 2 need order q > Δ^(2k+1), far beyond
+	// laptop scale (Corollary 15 takes q = β^(ck²)). But a lift has the
+	// same universal cover as its base, and a tree-like radius-k view in
+	// the lift IS the depth-k truncation of the universal cover — so
+	// comparing unrolling hashes on the *base* graph tests exactly the
+	// view equality Theorem 11 asserts for the high-girth lift.
+	base, err := basegraph.Build(basegraph.Params{K: 2, Beta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := int(base.Clusters[0][0])
+	v1 := int(base.Clusters[1][0])
+	for depth := 1; depth <= 2; depth++ {
+		h0 := iso.ViewHash(base.G, v0, depth)
+		h1 := iso.ViewHash(base.G, v1, depth)
+		if h0 != h1 {
+			t.Fatalf("depth-%d unrollings differ: %x vs %x", depth, h0, h1)
+		}
+	}
+	// All of S(c0) and S(c1) share the same unrolling (clusters are
+	// homogeneous).
+	h := iso.ViewHash(base.G, v0, 2)
+	for _, v := range base.Clusters[1][:8] {
+		if iso.ViewHash(base.G, int(v), 2) != h {
+			t.Fatalf("cluster S(c1) not homogeneous at node %d", v)
+		}
+	}
+}
+
+func TestViewHashBasics(t *testing.T) {
+	// All nodes of a cycle have identical views; a path's endpoint view
+	// differs from its midpoint view.
+	c := graph.Cycle(12)
+	h := iso.ViewHash(c, 0, 3)
+	for v := 1; v < c.N(); v++ {
+		if iso.ViewHash(c, v, 3) != h {
+			t.Fatalf("cycle views differ at node %d", v)
+		}
+	}
+	p := graph.Path(9)
+	if iso.ViewHash(p, 0, 2) == iso.ViewHash(p, 4, 2) {
+		t.Fatal("path endpoint and midpoint views should differ at radius 2")
+	}
+	// Radius-0 views are all equal.
+	if iso.ViewHash(p, 0, 0) != iso.ViewHash(p, 4, 0) {
+		t.Fatal("radius-0 views must coincide")
+	}
+}

@@ -1,0 +1,91 @@
+// Package kmwmatch builds the matching lower-bound construction of
+// Theorem 17 / Appendix C.4: two copies of a cluster-tree graph joined by
+// a perfect matching between corresponding nodes (same cluster in both
+// copies). Every maximal matching must contain almost all inter-copy edges
+// incident to S(c0) ∪ S(c0'), but within the indistinguishability horizon
+// only a vanishing fraction may join — so the node-averaged complexity of
+// maximal matching inherits the KMW bound.
+package kmwmatch
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"avgloc/internal/graph"
+	"avgloc/internal/lb/basegraph"
+	"avgloc/internal/lb/lift"
+)
+
+// Instance is the doubled construction.
+type Instance struct {
+	Base *basegraph.Instance
+	Q    int
+	G    *graph.Graph
+	// Half is the number of nodes per copy; node v and v+Half are matched
+	// by the inter-copy perfect matching.
+	Half int
+	// CrossEdges[i] is the edge id of the perfect-matching edge joining i
+	// and i+Half.
+	CrossEdges []int32
+	// ClusterOf maps every node to its skeleton cluster (same for both
+	// copies).
+	ClusterOf []int32
+}
+
+// Build lifts the base instance by order q, duplicates it, and adds the
+// inter-copy perfect matching.
+func Build(base *basegraph.Instance, q int, rng *rand.Rand) (*Instance, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("kmwmatch: lift order must be >= 1")
+	}
+	single, err := lift.BuildInstance(base, q, rng)
+	if err != nil {
+		return nil, err
+	}
+	half := single.G.N()
+	b := graph.NewBuilder(2 * half)
+	for e := 0; e < single.G.M(); e++ {
+		u, v := single.G.Endpoints(e)
+		b.AddEdge(u, v)
+		b.AddEdge(u+half, v+half)
+	}
+	crossStart := 2 * single.G.M()
+	for v := 0; v < half; v++ {
+		b.AddEdge(v, v+half)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	cross := make([]int32, half)
+	for v := 0; v < half; v++ {
+		cross[v] = int32(crossStart + v)
+	}
+	cl := make([]int32, 2*half)
+	for v := 0; v < half; v++ {
+		cl[v] = single.ClusterOf[v]
+		cl[v+half] = single.ClusterOf[v]
+	}
+	return &Instance{Base: base, Q: q, G: g, Half: half, CrossEdges: cross, ClusterOf: cl}, nil
+}
+
+// CrossFractionInMatching returns the fraction of S(c0)–S(c0') perfect-
+// matching edges present in the given matching — the quantity that must
+// approach 1 for any maximal matching (Appendix C.4) but stays o(1) within
+// the KMW horizon.
+func (inst *Instance) CrossFractionInMatching(matched []bool) float64 {
+	total, hit := 0, 0
+	for v := 0; v < inst.Half; v++ {
+		if inst.ClusterOf[v] != 0 {
+			continue
+		}
+		total++
+		if matched[inst.CrossEdges[v]] {
+			hit++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,258 @@
+// Package measure computes the node- and edge-averaged complexities of
+// Definition 1 of the paper, the one-sided edge measure of footnote 2, and
+// the stronger weighted-averaged / expected / worst-case notions of
+// Appendix A, from the commit-round ledgers produced by the runtime.
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"avgloc/internal/graph"
+	"avgloc/internal/runtime"
+)
+
+// Times holds the per-node and per-edge completion times T_v, T_e of one
+// run (Section 2): a node completes when its own output and the outputs of
+// all its incident edges are committed; an edge completes when its output
+// and both endpoint outputs are committed.
+type Times struct {
+	Node []int32
+	Edge []int32
+}
+
+// Completion derives completion times from a run ledger under the given
+// output kind. It errors if some required output was never committed.
+func Completion(g *graph.Graph, res *runtime.Result, kind runtime.OutputKind) (Times, error) {
+	n, m := g.N(), g.M()
+	t := Times{Node: make([]int32, n), Edge: make([]int32, m)}
+	switch kind {
+	case runtime.NodeOutputs:
+		for v := 0; v < n; v++ {
+			if res.NodeCommit[v] < 0 {
+				return Times{}, fmt.Errorf("measure: node %d never committed", v)
+			}
+			t.Node[v] = res.NodeCommit[v]
+		}
+		for e := 0; e < m; e++ {
+			u, v := g.Endpoints(e)
+			t.Edge[e] = max32(t.Node[u], t.Node[v])
+		}
+	case runtime.EdgeOutputs:
+		for e := 0; e < m; e++ {
+			if res.EdgeCommit[e] < 0 {
+				return Times{}, fmt.Errorf("measure: edge %d never committed", e)
+			}
+			t.Edge[e] = res.EdgeCommit[e]
+		}
+		for v := 0; v < n; v++ {
+			var tv int32
+			for _, e := range g.EdgeIDs(v) {
+				tv = max32(tv, t.Edge[e])
+			}
+			if res.NodeCommit[v] > tv {
+				tv = res.NodeCommit[v]
+			}
+			t.Node[v] = tv
+		}
+	default:
+		return Times{}, fmt.Errorf("measure: unknown output kind %d", kind)
+	}
+	return t, nil
+}
+
+// OneSidedEdgeTimes computes the footnote-2 edge measure for node-output
+// problems: an edge is done as soon as the label of at least one endpoint
+// is fixed. Under this measure Luby's MIS has edge-averaged complexity
+// O(1) even though its Definition-1 complexities are not O(1).
+func OneSidedEdgeTimes(g *graph.Graph, res *runtime.Result) ([]int32, error) {
+	m := g.M()
+	out := make([]int32, m)
+	for e := 0; e < m; e++ {
+		u, v := g.Endpoints(e)
+		tu, tv := res.NodeCommit[u], res.NodeCommit[v]
+		if tu < 0 && tv < 0 {
+			return nil, fmt.Errorf("measure: edge %d has no committed endpoint", e)
+		}
+		switch {
+		case tu < 0:
+			out[e] = tv
+		case tv < 0:
+			out[e] = tu
+		default:
+			out[e] = min32(tu, tv)
+		}
+	}
+	return out, nil
+}
+
+// NodeAvg returns the node-averaged complexity of one run: (1/|V|) Σ T_v.
+func NodeAvg(t Times) float64 { return mean32(t.Node) }
+
+// EdgeAvg returns the edge-averaged complexity of one run: (1/|E|) Σ T_e.
+func EdgeAvg(t Times) float64 { return mean32(t.Edge) }
+
+// Worst returns the worst-case completion round of one run.
+func Worst(t Times) int {
+	var w int32
+	for _, x := range t.Node {
+		w = max32(w, x)
+	}
+	for _, x := range t.Edge {
+		w = max32(w, x)
+	}
+	return int(w)
+}
+
+// WeightedNodeAvg returns the weighted node-averaged complexity
+// Σ w_v T_v / Σ w_v for the given positive weights (Appendix A).
+func WeightedNodeAvg(t Times, w []float64) (float64, error) {
+	if len(w) != len(t.Node) {
+		return 0, fmt.Errorf("measure: %d weights for %d nodes", len(w), len(t.Node))
+	}
+	var num, den float64
+	for v, tv := range t.Node {
+		if w[v] <= 0 {
+			return 0, fmt.Errorf("measure: non-positive weight %g at node %d", w[v], v)
+		}
+		num += w[v] * float64(tv)
+		den += w[v]
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// Agg aggregates the measures over independent randomized trials. For a
+// randomized algorithm A, Definition 1 takes expectations per node/edge;
+// Agg estimates them by empirical means.
+type Agg struct {
+	trials  int
+	nodeSum []float64 // Σ_trials T_v, per node
+	edgeSum []float64 // Σ_trials T_e, per edge
+	// per-run scalars
+	runNodeAvg []float64
+	runEdgeAvg []float64
+	runWorst   []float64
+}
+
+// NewAgg returns an aggregator for graphs with n nodes and m edges.
+func NewAgg(n, m int) *Agg {
+	return &Agg{nodeSum: make([]float64, n), edgeSum: make([]float64, m)}
+}
+
+// Add records the completion times of one trial.
+func (a *Agg) Add(t Times) {
+	a.trials++
+	for v, x := range t.Node {
+		a.nodeSum[v] += float64(x)
+	}
+	for e, x := range t.Edge {
+		a.edgeSum[e] += float64(x)
+	}
+	a.runNodeAvg = append(a.runNodeAvg, NodeAvg(t))
+	a.runEdgeAvg = append(a.runEdgeAvg, EdgeAvg(t))
+	a.runWorst = append(a.runWorst, float64(Worst(t)))
+}
+
+// Trials returns the number of recorded trials.
+func (a *Agg) Trials() int { return a.trials }
+
+// NodeAvg estimates AVG_V(A) = (1/|V|) Σ_v E[T_v].
+func (a *Agg) NodeAvg() float64 { return meanF(a.runNodeAvg) }
+
+// EdgeAvg estimates AVG_E(A) = (1/|E|) Σ_e E[T_e].
+func (a *Agg) EdgeAvg() float64 { return meanF(a.runEdgeAvg) }
+
+// ExpNode estimates the node expected complexity max_v E[T_v] (Appendix A).
+func (a *Agg) ExpNode() float64 {
+	if a.trials == 0 {
+		return 0
+	}
+	var m float64
+	for _, s := range a.nodeSum {
+		m = math.Max(m, s/float64(a.trials))
+	}
+	return m
+}
+
+// ExpEdge estimates the edge expected complexity max_e E[T_e].
+func (a *Agg) ExpEdge() float64 {
+	if a.trials == 0 {
+		return 0
+	}
+	var m float64
+	for _, s := range a.edgeSum {
+		m = math.Max(m, s/float64(a.trials))
+	}
+	return m
+}
+
+// WorstMean estimates E[max T], the expected worst-case completion round.
+func (a *Agg) WorstMean() float64 { return meanF(a.runWorst) }
+
+// WorstMax returns the worst completion round over all trials.
+func (a *Agg) WorstMax() float64 {
+	var m float64
+	for _, w := range a.runWorst {
+		m = math.Max(m, w)
+	}
+	return m
+}
+
+// WeightedNodeAvg estimates AVG^w_V for the given weights using per-node
+// expected completion times.
+func (a *Agg) WeightedNodeAvg(w []float64) (float64, error) {
+	if len(w) != len(a.nodeSum) {
+		return 0, fmt.Errorf("measure: %d weights for %d nodes", len(w), len(a.nodeSum))
+	}
+	if a.trials == 0 {
+		return 0, nil
+	}
+	var num, den float64
+	for v, s := range a.nodeSum {
+		if w[v] <= 0 {
+			return 0, fmt.Errorf("measure: non-positive weight %g at node %d", w[v], v)
+		}
+		num += w[v] * s / float64(a.trials)
+		den += w[v]
+	}
+	return num / den, nil
+}
+
+func mean32(xs []int32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s / float64(len(xs))
+}
+
+func meanF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

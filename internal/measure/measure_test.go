@@ -1,0 +1,155 @@
+package measure_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"avgloc/internal/graph"
+	"avgloc/internal/measure"
+	"avgloc/internal/runtime"
+)
+
+func times(node, edge []int32) measure.Times {
+	return measure.Times{Node: node, Edge: edge}
+}
+
+func TestCompletionNodeOutputs(t *testing.T) {
+	g := graph.Path(3) // edges {0,1}, {1,2}
+	res := &runtime.Result{NodeCommit: []int32{0, 2, 1}, EdgeCommit: []int32{-1, -1}}
+	tm, err := measure.Completion(g, res, runtime.NodeOutputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Edge[0] != 2 || tm.Edge[1] != 2 {
+		t.Fatalf("edge times %v", tm.Edge)
+	}
+	if got := measure.NodeAvg(tm); got != 1.0 {
+		t.Fatalf("node avg %v", got)
+	}
+	if got := measure.EdgeAvg(tm); got != 2.0 {
+		t.Fatalf("edge avg %v", got)
+	}
+	if got := measure.Worst(tm); got != 2 {
+		t.Fatalf("worst %v", got)
+	}
+}
+
+func TestCompletionEdgeOutputs(t *testing.T) {
+	g := graph.Path(3)
+	res := &runtime.Result{
+		NodeCommit: []int32{-1, -1, -1},
+		EdgeCommit: []int32{3, 1},
+	}
+	tm, err := measure.Completion(g, res, runtime.EdgeOutputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{3, 3, 1}
+	for v, x := range want {
+		if tm.Node[v] != x {
+			t.Fatalf("node %d time %d want %d", v, tm.Node[v], x)
+		}
+	}
+}
+
+func TestCompletionErrorsOnMissing(t *testing.T) {
+	g := graph.Path(2)
+	res := &runtime.Result{NodeCommit: []int32{0, -1}, EdgeCommit: []int32{-1}}
+	if _, err := measure.Completion(g, res, runtime.NodeOutputs); err == nil {
+		t.Fatal("expected missing-commit error")
+	}
+	if _, err := measure.Completion(g, res, runtime.EdgeOutputs); err == nil {
+		t.Fatal("expected missing-edge error")
+	}
+}
+
+func TestOneSided(t *testing.T) {
+	g := graph.Path(3)
+	res := &runtime.Result{NodeCommit: []int32{5, 1, -1}}
+	one, err := measure.OneSidedEdgeTimes(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != 1 || one[1] != 1 {
+		t.Fatalf("one-sided %v", one)
+	}
+	res2 := &runtime.Result{NodeCommit: []int32{-1, -1, 1}}
+	if _, err := measure.OneSidedEdgeTimes(g, res2); err == nil {
+		t.Fatal("edge 0 has no committed endpoint")
+	}
+}
+
+func TestWeightedNodeAvg(t *testing.T) {
+	tm := times([]int32{0, 10}, nil)
+	got, err := measure.WeightedNodeAvg(tm, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-7.5) > 1e-12 {
+		t.Fatalf("weighted avg %v", got)
+	}
+	if _, err := measure.WeightedNodeAvg(tm, []float64{1, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := measure.WeightedNodeAvg(tm, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestAggregatorChain(t *testing.T) {
+	a := measure.NewAgg(2, 1)
+	a.Add(times([]int32{0, 4}, []int32{4}))
+	a.Add(times([]int32{2, 2}, []int32{2}))
+	if a.Trials() != 2 {
+		t.Fatalf("trials %d", a.Trials())
+	}
+	if got := a.NodeAvg(); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("node avg %v", got)
+	}
+	if got := a.ExpNode(); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("exp node %v", got) // node 1 mean = 3
+	}
+	if got := a.WorstMean(); math.Abs(got-3.0) > 1e-12 {
+		t.Fatalf("worst mean %v", got)
+	}
+	if got := a.WorstMax(); got != 4 {
+		t.Fatalf("worst max %v", got)
+	}
+}
+
+// Property (Appendix A): AVG_V <= AVG^w_V(any w) bounded by EXP_V <= E[worst] <= max worst
+// specialized: NodeAvg <= ExpNode <= WorstMean <= WorstMax, and any
+// weighted average lies between the min and max per-node mean.
+func TestMeasureChainProperty(t *testing.T) {
+	f := func(raw []uint8, wraw []uint8) bool {
+		n := 4
+		if len(raw) < 2*n || len(wraw) < n {
+			return true
+		}
+		a := measure.NewAgg(n, 0)
+		for trial := 0; trial < 2; trial++ {
+			node := make([]int32, n)
+			for i := range node {
+				node[i] = int32(raw[trial*n+i] % 50)
+			}
+			a.Add(measure.Times{Node: node, Edge: nil})
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 1 + float64(wraw[i]%9)
+		}
+		wavg, err := a.WeightedNodeAvg(w)
+		if err != nil {
+			return false
+		}
+		const eps = 1e-9
+		return a.NodeAvg() <= a.ExpNode()+eps &&
+			a.ExpNode() <= a.WorstMean()+eps &&
+			a.WorstMean() <= a.WorstMax()+eps &&
+			wavg <= a.ExpNode()+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

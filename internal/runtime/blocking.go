@@ -1,0 +1,159 @@
+package runtime
+
+// Blocking-style node programs: instead of hand-writing a state machine
+// whose Round method dispatches on the round number, a node program is
+// sequential code running in its own goroutine that calls Step() to end the
+// current round and receive the next round's inbox. This is the natural Go
+// rendering of a synchronous message-passing node and is what the
+// multi-phase deterministic algorithms (Theorems 3, 5 and 6) are written
+// in. The adapter below drives the goroutine from the engine's Round calls
+// with a pair of unbuffered channels acting as a coroutine switch.
+
+// Proc is the body of a blocking node program. It must only interact with
+// the simulation through pc, and returns when the node is done (the node
+// halts automatically).
+type Proc func(pc *ProcContext)
+
+// ProcContext is the blocking-style counterpart of Context.
+type ProcContext struct {
+	view *NodeView
+	ctx  *Context
+	in   []Message
+
+	resume chan []Message
+	yield  chan struct{}
+	killed bool
+}
+
+// View returns the node's static local information.
+func (pc *ProcContext) View() *NodeView { return pc.view }
+
+// Round returns the current round number.
+func (pc *ProcContext) Round() int { return pc.ctx.Round() }
+
+// Inbox returns the messages received at the start of the current round.
+// Index by port; nil entries mean no message.
+func (pc *ProcContext) Inbox() []Message { return pc.in }
+
+// Send queues a message on the given port for delivery next round.
+func (pc *ProcContext) Send(port int, m Message) { pc.ctx.Send(port, m) }
+
+// Broadcast queues the same message on every port.
+func (pc *ProcContext) Broadcast(m Message) { pc.ctx.Broadcast(m) }
+
+// CommitNode fixes the node output at the current round.
+func (pc *ProcContext) CommitNode(out any) { pc.ctx.CommitNode(out) }
+
+// HasCommitted reports whether the node output is already fixed.
+func (pc *ProcContext) HasCommitted() bool { return pc.ctx.HasCommitted() }
+
+// CommitEdge fixes the output of the edge on the given port.
+func (pc *ProcContext) CommitEdge(port int, out any) { pc.ctx.CommitEdge(port, out) }
+
+// Step ends the current round (delivering everything queued with Send) and
+// blocks until the next round begins, returning the new inbox.
+func (pc *ProcContext) Step() []Message {
+	pc.yield <- struct{}{}
+	in, ok := <-pc.resume
+	if !ok {
+		// The engine is shutting down (round limit or abort): unwind the
+		// proc goroutine.
+		pc.killed = true
+		panic(procKilled{})
+	}
+	pc.in = in
+	return in
+}
+
+// StepN calls Step n times, discarding inboxes; a convenience for idle
+// waiting inside multi-phase protocols.
+func (pc *ProcContext) StepN(n int) {
+	for i := 0; i < n; i++ {
+		pc.Step()
+	}
+}
+
+type procKilled struct{}
+
+// procProgram adapts a Proc to the engine's Program interface.
+type procProgram struct {
+	f       Proc
+	view    NodeView
+	pc      *ProcContext
+	started bool
+	done    bool
+}
+
+var _ Program = (*procProgram)(nil)
+var _ stopper = (*procProgram)(nil)
+
+func (p *procProgram) Round(ctx *Context, inbox []Message) {
+	if p.done {
+		ctx.Halt()
+		return
+	}
+	if !p.started {
+		p.started = true
+		p.pc = &ProcContext{
+			view:   &p.view,
+			ctx:    ctx,
+			resume: make(chan []Message),
+			yield:  make(chan struct{}),
+		}
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(procKilled); !ok {
+						panic(r) // real panic from the algorithm: propagate
+					}
+				}
+				p.pc.yield <- struct{}{}
+			}()
+			in, ok := <-p.pc.resume
+			if !ok {
+				panic(procKilled{})
+			}
+			p.pc.in = in
+			p.f(p.pc)
+			p.done = true
+		}()
+	}
+	p.pc.ctx = ctx
+	p.pc.resume <- inbox
+	<-p.pc.yield
+	if p.done {
+		ctx.Halt()
+	}
+}
+
+// Stop unwinds the proc goroutine; called by the engine on abnormal exit.
+func (p *procProgram) Stop() {
+	if !p.started || p.done {
+		return
+	}
+	close(p.pc.resume)
+	<-p.pc.yield
+	p.done = true
+}
+
+// stopper is implemented by programs needing cleanup when a run aborts.
+type stopper interface{ Stop() }
+
+// blockingAlg wraps a Proc factory into an Algorithm.
+type blockingAlg struct {
+	name string
+	f    func(view NodeView) Proc
+}
+
+func (a blockingAlg) Name() string { return a.name }
+
+func (a blockingAlg) Node(view NodeView) Program {
+	return &procProgram{f: a.f(view), view: view}
+}
+
+// NewBlocking builds an Algorithm from a blocking-style node program
+// factory. The factory may capture per-node state; the returned Proc runs
+// once per node.
+func NewBlocking(name string, f func(view NodeView) Proc) Algorithm {
+	return blockingAlg{name: name, f: f}
+}

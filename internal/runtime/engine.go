@@ -1,0 +1,261 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+
+	"avgloc/internal/graph"
+)
+
+// execution holds the mutable state of one run.
+type execution struct {
+	g   *graph.Graph
+	alg Algorithm
+	cfg Config
+
+	arcOff  []int32 // len n+1: prefix sums of degrees
+	scatter []int32 // arc (v,p) -> destination arc index at the receiver
+	cur     []Message
+	next    []Message
+
+	progs  []Program
+	ctxs   []*Context
+	halted []bool
+	haltAt []int32
+	live   int
+
+	maxRounds int
+}
+
+func newExecution(g *graph.Graph, alg Algorithm, cfg Config) *execution {
+	n := g.N()
+	ex := &execution{
+		g:      g,
+		alg:    alg,
+		cfg:    cfg,
+		arcOff: make([]int32, n+1),
+		progs:  make([]Program, n),
+		ctxs:   make([]*Context, n),
+		halted: make([]bool, n),
+		haltAt: make([]int32, n),
+		live:   n,
+	}
+	for v := 0; v < n; v++ {
+		ex.arcOff[v+1] = ex.arcOff[v] + int32(g.Deg(v))
+	}
+	arcs := int(ex.arcOff[n])
+	ex.scatter = make([]int32, arcs)
+	for v := 0; v < n; v++ {
+		for p := 0; p < g.Deg(v); p++ {
+			u := g.Neighbor(v, p)
+			q := g.TwinPort(v, p)
+			ex.scatter[ex.arcOff[v]+int32(p)] = ex.arcOff[u] + int32(q)
+		}
+	}
+	ex.cur = make([]Message, arcs)
+	ex.next = make([]Message, arcs)
+	ex.maxRounds = cfg.MaxRounds
+	if ex.maxRounds <= 0 {
+		ex.maxRounds = DefaultMaxRounds(n)
+	}
+	for v := 0; v < n; v++ {
+		deg := g.Deg(v)
+		nbrIDs := make([]int64, deg)
+		for p := 0; p < deg; p++ {
+			nbrIDs[p] = cfg.IDs[g.Neighbor(v, p)]
+		}
+		view := NodeView{
+			ID:          cfg.IDs[v],
+			Degree:      deg,
+			NeighborIDs: nbrIDs,
+			N:           n,
+			MaxDegree:   g.MaxDegree(),
+			Rand:        rand.New(rand.NewPCG(cfg.Seed, uint64(v)*0x9E3779B97F4A7C15+0xD1B54A32D192ED03)),
+		}
+		ex.ctxs[v] = &Context{
+			view:      &view,
+			outbox:    make([]Message, deg),
+			nodeRound: -1,
+			edgeOut:   make([]Message, deg),
+			edgeSet:   make([]bool, deg),
+			edgeRound: make([]int32, deg),
+		}
+		ex.haltAt[v] = -1
+		ex.progs[v] = alg.Node(view)
+	}
+	return ex
+}
+
+// step runs node v for the given round against the current inbox and
+// scatters its outbox. It is safe to call concurrently for distinct v.
+func (ex *execution) step(v int, round int32) {
+	ctx := ex.ctxs[v]
+	ctx.round = round
+	inbox := ex.cur[ex.arcOff[v]:ex.arcOff[v+1]]
+	ex.progs[v].Round(ctx, inbox)
+	base := ex.arcOff[v]
+	for p, m := range ctx.outbox {
+		if m != nil {
+			ex.next[ex.scatter[base+int32(p)]] = m
+			ctx.outbox[p] = nil
+		}
+	}
+}
+
+// sweepHalts marks nodes that halted during this round and reports whether
+// any node remains live.
+func (ex *execution) sweepHalts(round int32) bool {
+	for v := 0; v < ex.g.N(); v++ {
+		if !ex.halted[v] && ex.ctxs[v].halted {
+			ex.halted[v] = true
+			ex.haltAt[v] = round
+			ex.live--
+		}
+	}
+	return ex.live > 0
+}
+
+// flip swaps the message buffers and clears the stale one. Messages
+// addressed to halted nodes are dropped.
+func (ex *execution) flip() {
+	ex.cur, ex.next = ex.next, ex.cur
+	for i := range ex.next {
+		ex.next[i] = nil
+	}
+}
+
+// stopPrograms unwinds any program goroutines still alive (blocking-style
+// programs interrupted by a round-limit abort).
+func (ex *execution) stopPrograms() {
+	for _, p := range ex.progs {
+		if s, ok := p.(stopper); ok {
+			s.Stop()
+		}
+	}
+}
+
+func (ex *execution) runSequential() (*Result, error) {
+	defer ex.stopPrograms()
+	round := int32(0)
+	for {
+		for v := 0; v < ex.g.N(); v++ {
+			if !ex.halted[v] {
+				ex.step(v, round)
+			}
+		}
+		anyLive := ex.sweepHalts(round)
+		if !anyLive {
+			return ex.collect(int(round))
+		}
+		if int(round) >= ex.maxRounds {
+			return nil, fmt.Errorf("%w: %s did not finish within %d rounds on %s",
+				ErrRoundLimit, ex.alg.Name(), ex.maxRounds, ex.g)
+		}
+		ex.flip()
+		round++
+	}
+}
+
+// runConcurrent executes one goroutine per node. Within a round, nodes read
+// disjoint inbox slices and write disjoint outbox/scatter slots, so no
+// locking is needed; rounds are separated by a channel barrier driven by
+// the coordinator.
+func (ex *execution) runConcurrent() (*Result, error) {
+	defer ex.stopPrograms()
+	n := ex.g.N()
+	start := make([]chan int32, n)
+	var wg sync.WaitGroup // per-round completion barrier
+	var lifetime sync.WaitGroup
+	for v := 0; v < n; v++ {
+		start[v] = make(chan int32, 1)
+		lifetime.Add(1)
+		go func(v int) {
+			defer lifetime.Done()
+			for round := range start[v] {
+				ex.step(v, round)
+				wg.Done()
+			}
+		}(v)
+	}
+	stopAll := func() {
+		for v := 0; v < n; v++ {
+			close(start[v])
+		}
+		lifetime.Wait()
+	}
+
+	round := int32(0)
+	for {
+		for v := 0; v < n; v++ {
+			if !ex.halted[v] {
+				wg.Add(1)
+				start[v] <- round
+			}
+		}
+		wg.Wait()
+		anyLive := ex.sweepHalts(round)
+		if !anyLive {
+			stopAll()
+			return ex.collect(int(round))
+		}
+		if int(round) >= ex.maxRounds {
+			stopAll()
+			return nil, fmt.Errorf("%w: %s did not finish within %d rounds on %s",
+				ErrRoundLimit, ex.alg.Name(), ex.maxRounds, ex.g)
+		}
+		ex.flip()
+		round++
+	}
+}
+
+// collect merges the per-node ledgers into a Result.
+func (ex *execution) collect(rounds int) (*Result, error) {
+	n, m := ex.g.N(), ex.g.M()
+	res := &Result{
+		Rounds:     rounds,
+		NodeCommit: make([]int32, n),
+		EdgeCommit: make([]int32, m),
+		NodeHalt:   ex.haltAt,
+		NodeOut:    make([]any, n),
+		EdgeOut:    make([]any, m),
+	}
+	for e := 0; e < m; e++ {
+		res.EdgeCommit[e] = -1
+	}
+	var errs []error
+	for v := 0; v < n; v++ {
+		ctx := ex.ctxs[v]
+		errs = append(errs, ctx.commitErrs...)
+		res.NodeCommit[v] = ctx.nodeRound
+		res.NodeOut[v] = ctx.nodeOut
+		res.Messages += ctx.sent
+		for p := 0; p < ex.g.Deg(v); p++ {
+			if !ctx.edgeSet[p] {
+				continue
+			}
+			e := ex.g.EdgeID(v, p)
+			r := ctx.edgeRound[p]
+			switch {
+			case res.EdgeCommit[e] < 0:
+				res.EdgeCommit[e] = r
+				res.EdgeOut[e] = ctx.edgeOut[p]
+			default:
+				// Both endpoints committed: values must agree. Edge outputs
+				// are required to be comparable types.
+				if res.EdgeOut[e] != any(ctx.edgeOut[p]) {
+					errs = append(errs, fmt.Errorf(
+						"runtime: edge %d committed inconsistently (%v vs %v)",
+						e, res.EdgeOut[e], ctx.edgeOut[p]))
+				}
+				if r < res.EdgeCommit[e] {
+					res.EdgeCommit[e] = r
+				}
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("runtime: %d commit errors, first: %w", len(errs), errs[0])
+	}
+	return res, nil
+}
