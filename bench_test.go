@@ -18,7 +18,8 @@ var printOnce sync.Map
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		tab, err := harness.Run(id, harness.Quick, 42)
+		// Parallelism 0 = GOMAXPROCS; tables are bit-identical at any level.
+		tab, err := harness.Run(id, harness.Options{Scale: harness.Quick, Seed: 42})
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

@@ -3,16 +3,31 @@
 //
 // Usage:
 //
-//	avgbench                 # every experiment at quick scale
-//	avgbench -exp E5,E6      # selected experiments
-//	avgbench -full -seed 7   # full-scale sweeps
+//	avgbench                         # every experiment at quick scale
+//	avgbench -exp E5,E6              # selected experiments
+//	avgbench -full -seed 7           # full-scale sweeps
+//	avgbench -parallel 1             # force sequential execution
+//	avgbench -json BENCH_results.json
+//
+// Tables are bit-identical at every -parallel level: all randomness is
+// derived from the master seed, never from scheduling.
+//
+// With -json, per-experiment wall-clock, allocation and table statistics
+// are written to the given file as the "current" block. If the file already
+// exists, its "baseline" block is preserved; if it exists without one, the
+// previous "current" becomes the new "baseline". Running it once, changing
+// the code, and running it again therefore yields a before/after record.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"avgloc/internal/harness"
 )
@@ -24,15 +39,47 @@ func main() {
 	}
 }
 
+// expStats is the machine-readable record of one experiment run.
+type expStats struct {
+	ID       string `json:"id"`
+	WallNs   int64  `json:"wall_ns"`
+	Allocs   uint64 `json:"allocs"`
+	Bytes    uint64 `json:"bytes"`
+	Rows     int    `json:"rows"`
+	TableFNV string `json:"table_fnv64"` // hash of the rendered table, for bit-identity checks
+}
+
+// benchBlock is one measured sweep over the selected experiments.
+type benchBlock struct {
+	Label       string     `json:"label"`
+	GoVersion   string     `json:"go_version,omitempty"`
+	GoMaxProcs  int        `json:"gomaxprocs,omitempty"`
+	Parallelism int        `json:"parallelism,omitempty"`
+	Seed        uint64     `json:"seed,omitempty"`
+	Scale       string     `json:"scale,omitempty"`
+	TotalWallNs int64      `json:"total_wall_ns"`
+	Experiments []expStats `json:"experiments"`
+}
+
+// benchFile is the BENCH_results.json schema.
+type benchFile struct {
+	Schema   int         `json:"schema"`
+	Suite    string      `json:"suite"`
+	Baseline *benchBlock `json:"baseline,omitempty"`
+	Current  *benchBlock `json:"current"`
+}
+
 func run() error {
 	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	full := flag.Bool("full", false, "full-scale sweeps (minutes instead of seconds)")
 	seed := flag.Uint64("seed", 42, "master seed")
+	parallel := flag.Int("parallel", 0, "worker budget per experiment (0 = GOMAXPROCS, 1 = sequential)")
+	jsonPath := flag.String("json", "", "write per-experiment wall-clock/alloc stats to this file")
 	flag.Parse()
 
-	scale := harness.Quick
+	opt := harness.Options{Scale: harness.Quick, Seed: *seed, Parallelism: *parallel}
 	if *full {
-		scale = harness.Full
+		opt.Scale = harness.Full
 	}
 	var selected []string
 	if *expFlag == "" {
@@ -44,12 +91,76 @@ func run() error {
 			selected = append(selected, strings.TrimSpace(id))
 		}
 	}
+
+	scaleName := "quick"
+	if *full {
+		scaleName = "full"
+	}
+	block := &benchBlock{
+		Label:       "avgbench " + scaleName,
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: *parallel,
+		Seed:        *seed,
+		Scale:       scaleName,
+	}
+	var before, after runtime.MemStats
 	for _, id := range selected {
-		tab, err := harness.Run(id, scale, *seed)
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		tab, err := harness.Run(id, opt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		fmt.Println(tab.String())
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		rendered := tab.String()
+		fmt.Println(rendered)
+		h := fnv.New64a()
+		h.Write([]byte(rendered))
+		block.Experiments = append(block.Experiments, expStats{
+			ID:       id,
+			WallNs:   wall.Nanoseconds(),
+			Allocs:   after.Mallocs - before.Mallocs,
+			Bytes:    after.TotalAlloc - before.TotalAlloc,
+			Rows:     len(tab.Rows),
+			TableFNV: fmt.Sprintf("%016x", h.Sum64()),
+		})
+		block.TotalWallNs += wall.Nanoseconds()
 	}
+
+	if *jsonPath != "" {
+		return writeJSON(*jsonPath, block)
+	}
+	return nil
+}
+
+// writeJSON stores block as the "current" measurement, keeping (or
+// promoting) the previous content as "baseline".
+func writeJSON(path string, block *benchBlock) error {
+	out := benchFile{
+		Schema: 1,
+		Suite:  "avgbench E1-E14; regenerate with: go run ./cmd/avgbench -json " + path,
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old benchFile
+		if err := json.Unmarshal(prev, &old); err == nil {
+			if old.Baseline != nil {
+				out.Baseline = old.Baseline
+			} else if old.Current != nil {
+				out.Baseline = old.Current
+			}
+		}
+	}
+	out.Current = block
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "avgbench: wrote %s (total %.2fs)\n", path, float64(block.TotalWallNs)/1e9)
 	return nil
 }

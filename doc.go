@@ -11,4 +11,28 @@
 //	internal/core     — problems, runners, measurement
 //	internal/harness  — the experiments; also run via cmd/avgbench
 //	examples/         — runnable walkthroughs
+//
+// # Executors
+//
+// The round engine (internal/runtime) ships two executors with identical
+// semantics. The sequential frontier executor keeps an active worklist of
+// exactly the non-halted nodes — a node leaves the worklist at its halt
+// round — so the cost of a round is proportional to the surviving frontier,
+// not to n; under the paper's node-averaged regime, simulation work is
+// Θ(Σ_v T_v) rather than Θ(n · max T_v). The concurrent executor runs one
+// goroutine per node with channel round barriers, the literal rendering of
+// synchronous message passing. Engine reuse (runtime.NewEngine) keeps all
+// per-run buffers in graph-sized arenas across repeated trials.
+//
+// # Deterministic parallelism
+//
+// core.Measure fans independent trials over a worker pool
+// (MeasureOptions.Parallelism); the harness additionally fans independent
+// table rows out (harness.Options.Parallelism). Every random stream — a
+// trial's identifier permutation and its algorithm seed — is derived from
+// the master seed and the trial index alone (counter-based PCG streams),
+// and outcomes merge in trial order, so reports and tables are
+// bit-identical at every parallelism level. Run
+// `avgbench -json BENCH_results.json` to regenerate the performance
+// trajectory file.
 package avgloc

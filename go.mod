@@ -1,0 +1,3 @@
+module avgloc
+
+go 1.22

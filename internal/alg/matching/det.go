@@ -3,6 +3,7 @@ package matching
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"avgloc/internal/alg/coloring"
 	"avgloc/internal/graph"
@@ -319,7 +320,15 @@ func (d Det) roundLevel(g *graph.Graph, lev []int, load []int64, liveEdge []bool
 		}
 	}
 
+	// Walk components in increasing edge order: map iteration order would
+	// leak into the alternation phase of cycles and the slack accounting of
+	// path endpoints, making the matching differ from run to run.
+	keys := make([]int, 0, len(elem))
 	for e := range elem {
+		keys = append(keys, e)
+	}
+	sort.Ints(keys)
+	for _, e := range keys {
 		if visited[e] {
 			continue
 		}

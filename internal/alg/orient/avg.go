@@ -73,10 +73,14 @@ type avgState struct {
 	toward    []int32
 	edgeRound []int32
 
-	// Scratch for shortestVirtualCycle (stamped arrays instead of maps).
-	bfsStamp  int32
-	bfsSeen   []int32
-	bfsParent []int32
+	// Scratch for shortestVirtualCycle's bidirectional BFS (stamped arrays
+	// instead of maps, frontier slices reused across calls).
+	bfsStamp       int32
+	seenA, seenB   []int32 // stamp when last reached from each side
+	distA, distB   []int32
+	parA, parB     []int32
+	frontA, frontB []int32
+	spareA, spareB []int32
 }
 
 // Run executes the algorithm; ids break default-orientation ties.
@@ -293,6 +297,13 @@ func (st *avgState) orientShortCycles(bound, dilation int) {
 // shortestVirtualCycle returns the canonical vnode sequence of a minimal
 // short cycle through edge ei, or nil. Parallel virtual edges are
 // 2-cycles.
+//
+// The search is a meet-in-the-middle BFS: two frontiers grow from ei's
+// endpoints through the surviving virtual graph, and a cycle closes when an
+// edge scan touches the opposite frontier. On high-girth inputs — exactly
+// the interesting regime, where almost every edge has no short cycle — this
+// explores O(Δ^(bound/2)) nodes per edge instead of O(Δ^bound), which is
+// what makes the E5 short-cycle phase fast.
 func (st *avgState) shortestVirtualCycle(ei, bound int) []int {
 	ve := st.edges[ei]
 	a, b := ve.a, ve.b
@@ -304,45 +315,95 @@ func (st *avgState) shortestVirtualCycle(ei, bound int) []int {
 			return []int{b, a}
 		}
 	}
-	if st.bfsSeen == nil {
-		st.bfsSeen = make([]int32, len(st.nodes))
-		st.bfsParent = make([]int32, len(st.nodes))
+	maxPath := bound - 1 // a length-L cycle through ei is an a→b path of L-1 edges
+	if maxPath < 2 {
+		return nil
+	}
+	if st.seenA == nil {
+		n := len(st.nodes)
+		st.seenA, st.seenB = make([]int32, n), make([]int32, n)
+		st.distA, st.distB = make([]int32, n), make([]int32, n)
+		st.parA, st.parB = make([]int32, n), make([]int32, n)
 	}
 	st.bfsStamp++
 	stamp := st.bfsStamp
-	type qe struct {
-		node, dist int
-	}
-	st.bfsSeen[a] = stamp
-	st.bfsParent[a] = -1
-	queue := []qe{{a, 0}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur.dist >= bound-1 {
-			continue
-		}
-		for _, ej := range st.nodes[cur.node].ports {
-			if ej == ei || st.edges[ej].dirFrom >= 0 || st.edges[ej].retired {
-				continue
-			}
-			nx := otherEnd(st.edges[ej], cur.node)
-			if st.bfsSeen[nx] == stamp {
-				continue
-			}
-			st.bfsSeen[nx] = stamp
-			st.bfsParent[nx] = int32(cur.node)
-			if nx == b {
-				var seq []int
-				for y := int32(b); y != -1; y = st.bfsParent[y] {
-					seq = append(seq, int(y))
+	st.seenA[a], st.distA[a], st.parA[a] = stamp, 0, -1
+	st.seenB[b], st.distB[b], st.parB[b] = stamp, 0, -1
+	frontA := append(st.frontA[:0], int32(a))
+	frontB := append(st.frontB[:0], int32(b))
+	nextA, nextB := st.spareA[:0], st.spareB[:0]
+	dA, dB := 0, 0
+	best := -1
+	var meetA, meetB int32
+
+	// expand grows one side by one BFS level, scanning every live virtual
+	// edge out of the frontier. An edge whose far end carries the opposite
+	// stamp closes a candidate cycle; the shortest one wins. Invariant:
+	// after the sides reach depths (dA, dB), every a→b path of length at
+	// most dA+dB+1 has been seen with its exact length, so the loop may
+	// stop as soon as best <= dA+dB+1 (or the bound is exceeded).
+	expand := func(front, next []int32, seen, dist, par []int32, oSeen, oDist []int32, depth int, fromB bool) []int32 {
+		next = next[:0]
+		for _, x := range front {
+			for _, ej := range st.nodes[x].ports {
+				if ej == ei || st.edges[ej].dirFrom >= 0 || st.edges[ej].retired {
+					continue
 				}
-				return canonicalCycleSeq(seq)
+				nx := int32(otherEnd(st.edges[ej], int(x)))
+				if oSeen[nx] == stamp {
+					if l := depth + 1 + int(oDist[nx]); best < 0 || l < best {
+						best = l
+						if fromB {
+							meetA, meetB = nx, x
+						} else {
+							meetA, meetB = x, nx
+						}
+					}
+				}
+				if seen[nx] != stamp {
+					seen[nx] = stamp
+					dist[nx] = int32(depth) + 1
+					par[nx] = x
+					next = append(next, nx)
+				}
 			}
-			queue = append(queue, qe{nx, cur.dist + 1})
+		}
+		return next
+	}
+
+	for len(frontA) > 0 && len(frontB) > 0 {
+		if best >= 0 && best <= dA+dB+1 {
+			break
+		}
+		if dA+dB+1 > maxPath {
+			break
+		}
+		if len(frontA) <= len(frontB) {
+			nextA = expand(frontA, nextA, st.seenA, st.distA, st.parA, st.seenB, st.distB, dA, false)
+			frontA, nextA = nextA, frontA
+			dA++
+		} else {
+			nextB = expand(frontB, nextB, st.seenB, st.distB, st.parB, st.seenA, st.distA, dB, true)
+			frontB, nextB = nextB, frontB
+			dB++
 		}
 	}
-	return nil
+	st.frontA, st.frontB = frontA[:0], frontB[:0]
+	st.spareA, st.spareB = nextA[:0], nextB[:0]
+	if best < 0 || best > maxPath {
+		return nil
+	}
+	// Reconstruct a→…→meetA, meetB→…→b; the walk has minimal length, hence
+	// is simple, and together with ei it is the minimal cycle.
+	var seq []int
+	for y := meetA; y != -1; y = st.parA[y] {
+		seq = append(seq, int(y))
+	}
+	reverseInts(seq)
+	for y := meetB; y != -1; y = st.parB[y] {
+		seq = append(seq, int(y))
+	}
+	return canonicalCycleSeq(seq)
 }
 
 // canonicalCycleSeq rotates/reflects a cycle to start at its minimum node,

@@ -1,0 +1,157 @@
+package orient
+
+// White-box test: the bidirectional shortestVirtualCycle must find a cycle
+// of exactly the same (minimal) length as a plain unidirectional BFS, on
+// the level-0 virtual graph with a random subset of edges knocked out.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"avgloc/internal/graph"
+	"avgloc/internal/locality"
+)
+
+// newTestState builds the level-0 avgState of DetAveraged.Run for g.
+func newTestState(g *graph.Graph) *avgState {
+	st := &avgState{
+		g:         g,
+		s:         locality.New(g),
+		nodes:     make([]*vnode, g.N()),
+		toward:    make([]int32, g.M()),
+		edgeRound: make([]int32, g.M()),
+	}
+	for e := range st.toward {
+		st.toward[e] = -1
+		st.edgeRound[e] = -1
+	}
+	for v := 0; v < g.N(); v++ {
+		st.nodes[v] = &vnode{real: int32(v)}
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		ve := &vedge{a: u, b: v, redges: []int32{int32(e)}, rnodes: []int32{int32(u), int32(v)}, dirFrom: -1}
+		st.nodes[u].ports = append(st.nodes[u].ports, len(st.edges))
+		st.nodes[v].ports = append(st.nodes[v].ports, len(st.edges))
+		st.edges = append(st.edges, ve)
+	}
+	return st
+}
+
+// referenceCycleLen is the unidirectional bounded BFS the bidirectional
+// search replaced: length of a minimal cycle through ei, or -1.
+func referenceCycleLen(st *avgState, ei, bound int) int {
+	ve := st.edges[ei]
+	a, b := ve.a, ve.b
+	for _, ej := range st.nodes[a].ports {
+		if ej != ei && st.edges[ej].dirFrom < 0 && !st.edges[ej].retired && otherEnd(st.edges[ej], a) == b {
+			return 2
+		}
+	}
+	type qe struct{ node, dist int }
+	seen := map[int]int{a: -1}
+	queue := []qe{{a, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.dist >= bound-1 {
+			continue
+		}
+		for _, ej := range st.nodes[cur.node].ports {
+			if ej == ei || st.edges[ej].dirFrom >= 0 || st.edges[ej].retired {
+				continue
+			}
+			nx := otherEnd(st.edges[ej], cur.node)
+			if _, ok := seen[nx]; ok {
+				continue
+			}
+			seen[nx] = cur.node
+			if nx == b {
+				return cur.dist + 2 // path edges + the closing edge ei
+			}
+			queue = append(queue, qe{nx, cur.dist + 1})
+		}
+	}
+	return -1
+}
+
+func cycleLen(seq []int) int {
+	if seq == nil {
+		return -1
+	}
+	return len(seq)
+}
+
+// checkValidCycle asserts seq is a simple cycle through edge ei in the live
+// virtual graph.
+func checkValidCycle(t *testing.T, st *avgState, ei int, seq []int) {
+	t.Helper()
+	if seq == nil {
+		return
+	}
+	ve := st.edges[ei]
+	dedup := map[int]bool{}
+	foundEdge := false
+	for i, x := range seq {
+		if dedup[x] {
+			t.Fatalf("edge %d: cycle %v repeats node %d", ei, seq, x)
+		}
+		dedup[x] = true
+		y := seq[(i+1)%len(seq)]
+		if (x == ve.a && y == ve.b) || (x == ve.b && y == ve.a) {
+			foundEdge = true
+			continue
+		}
+		ok := false
+		for _, ej := range st.nodes[x].ports {
+			if ej != ei && st.edges[ej].dirFrom < 0 && !st.edges[ej].retired && otherEnd(st.edges[ej], x) == y {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("edge %d: cycle %v uses nonexistent step %d-%d", ei, seq, x, y)
+		}
+	}
+	if len(seq) == 2 {
+		return // parallel virtual edge; adjacency already verified
+	}
+	if !foundEdge {
+		t.Fatalf("edge %d: cycle %v does not traverse the edge itself", ei, seq)
+	}
+}
+
+func TestShortestVirtualCycleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 12; trial++ {
+		n := 24 + int(rng.Uint64()%40)
+		g := graph.GNP(n, 0.09, rng)
+		if g.M() == 0 {
+			continue
+		}
+		st := newTestState(g)
+		// Knock out a random subset so the filters are exercised.
+		for ei := range st.edges {
+			switch rng.Uint64() % 10 {
+			case 0:
+				st.edges[ei].retired = true
+			case 1:
+				st.edges[ei].dirFrom = st.edges[ei].a
+			}
+		}
+		for _, bound := range []int{4, 6, 12} {
+			for ei := range st.edges {
+				if st.edges[ei].dirFrom >= 0 || st.edges[ei].retired {
+					continue
+				}
+				seq := st.shortestVirtualCycle(ei, bound)
+				want := referenceCycleLen(st, ei, bound)
+				if got := cycleLen(seq); got != want {
+					t.Fatalf("trial %d bound %d edge %d: bidirectional len %d, reference len %d (seq %v)",
+						trial, bound, ei, got, want, seq)
+				}
+				checkValidCycle(t, st, ei, seq)
+			}
+		}
+	}
+}

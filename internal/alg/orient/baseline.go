@@ -126,11 +126,12 @@ func (DetWorstCase) Run(g *graph.Graph, ids []int64) (*runtime.Result, error) {
 func canonicalComponentCycle(g *graph.Graph, comp []int32, c int32) []int32 {
 	var best []int32
 	bestLen := -1
+	scan := g.NewCycleScanner()
 	for v := 0; v < g.N(); v++ {
 		if comp[v] != c {
 			continue
 		}
-		l := g.ShortestCycleThrough(v, bestLen)
+		l := scan.ShortestCycleThrough(v, bestLen)
 		if l > 0 && (bestLen < 0 || l < bestLen) {
 			if seq := cycleThrough(g, v, l); seq != nil {
 				best = seq

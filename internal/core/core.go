@@ -8,6 +8,8 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 
 	"avgloc/internal/alg/matching"
 	"avgloc/internal/alg/mis"
@@ -112,12 +114,24 @@ func MessagePassing(alg runtime.Algorithm) Runner {
 	return mpRunner{alg: alg}
 }
 
+// EngineRunner is implemented by runners that can execute on a reusable
+// runtime.Engine. Measure detects it and gives each trial worker one engine
+// per graph, so the engine's arenas are shared across that worker's trials.
+type EngineRunner interface {
+	Runner
+	RunEngine(eng *runtime.Engine, assignment []int64, seed uint64) (*runtime.Result, error)
+}
+
 type mpRunner struct{ alg runtime.Algorithm }
 
 func (r mpRunner) Name() string { return r.alg.Name() }
 
 func (r mpRunner) Run(g *graph.Graph, assignment []int64, seed uint64) (*runtime.Result, error) {
 	return runtime.Run(g, r.alg, runtime.Config{IDs: assignment, Seed: seed})
+}
+
+func (r mpRunner) RunEngine(eng *runtime.Engine, assignment []int64, seed uint64) (*runtime.Result, error) {
+	return eng.Run(r.alg, runtime.Config{IDs: assignment, Seed: seed})
 }
 
 // Charged wraps a locality-charged algorithm as a Runner.
@@ -180,45 +194,149 @@ type Report struct {
 type MeasureOptions struct {
 	Trials int    // number of independent trials (default 1)
 	Seed   uint64 // master seed for identifiers and algorithm randomness
+	// Parallelism is the number of worker goroutines executing trials
+	// (default 1: sequential). Every per-trial random stream — the
+	// identifier permutation and the algorithm seed — is derived from the
+	// master seed and the trial index alone (counter-based PCG streams), and
+	// trial outcomes are merged in trial order, so the Report is
+	// bit-identical for every parallelism level.
+	Parallelism int
+}
+
+// trialSeed is the algorithm seed of one trial: a counter-based derivation
+// from the master seed, independent of every other trial.
+func trialSeed(seed uint64, trial int) uint64 {
+	return seed + uint64(trial)*0x9E3779B9
+}
+
+// trialIDStream returns the PRNG that draws trial's identifier permutation.
+// Each trial owns a distinct PCG stream keyed by the trial counter, so
+// workers need no shared PRNG and trial t's identifiers do not depend on
+// trials 0..t-1 having been drawn first.
+func trialIDStream(seed uint64, trial int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x5D2F1A+uint64(trial)*0x9E3779B97F4A7C15))
+}
+
+// trialOutcome is everything one trial contributes to the Report.
+type trialOutcome struct {
+	tm       measure.Times
+	messages int64
+	oneSided float64 // mean one-sided edge time (node-output problems)
+	err      error
 }
 
 // Measure runs trials of runner on g, validates each output against prob,
-// and aggregates the paper's complexity measures.
+// and aggregates the paper's complexity measures. With Parallelism > 1 the
+// trials fan out over a worker pool; outcomes are merged in trial order, so
+// the Report is identical to a sequential run.
 func Measure(g *graph.Graph, prob Problem, runner Runner, opt MeasureOptions) (*Report, error) {
 	trials := opt.Trials
 	if trials <= 0 {
 		trials = 1
 	}
-	agg := measure.NewAgg(g.N(), g.M())
-	var oneSidedSum, msgSum float64
-	rng := rand.New(rand.NewPCG(opt.Seed, 0x5D2F1A))
-	for trial := 0; trial < trials; trial++ {
-		assignment := ids.RandomPerm(g.N(), rng)
-		res, err := runner.Run(g, assignment, opt.Seed+uint64(trial)*0x9E3779B9)
+	workers := opt.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	outcomes := make([]trialOutcome, trials)
+	runTrial := func(trial int, eng *runtime.Engine) trialOutcome {
+		assignment := ids.RandomPerm(g.N(), trialIDStream(opt.Seed, trial))
+		var res *runtime.Result
+		var err error
+		if er, ok := runner.(EngineRunner); ok && eng != nil {
+			res, err = er.RunEngine(eng, assignment, trialSeed(opt.Seed, trial))
+		} else {
+			res, err = runner.Run(g, assignment, trialSeed(opt.Seed, trial))
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: trial %d: %w", trial, err)
+			return trialOutcome{err: fmt.Errorf("core: trial %d: %w", trial, err)}
 		}
 		if err := prob.Validate(g, res); err != nil {
-			return nil, fmt.Errorf("core: trial %d output invalid: %w", trial, err)
+			return trialOutcome{err: fmt.Errorf("core: trial %d output invalid: %w", trial, err)}
 		}
 		tm, err := measure.Completion(g, res, prob.Kind)
 		if err != nil {
-			return nil, fmt.Errorf("core: trial %d: %w", trial, err)
+			return trialOutcome{err: fmt.Errorf("core: trial %d: %w", trial, err)}
 		}
-		agg.Add(tm)
-		msgSum += float64(res.Messages)
+		out := trialOutcome{tm: tm, messages: res.Messages}
 		if prob.Kind == runtime.NodeOutputs {
-			one, err := measure.OneSidedEdgeTimes(g, res)
-			if err == nil {
+			if one, err := measure.OneSidedEdgeTimes(g, res); err == nil && len(one) > 0 {
 				var s float64
 				for _, x := range one {
 					s += float64(x)
 				}
-				if len(one) > 0 {
-					oneSidedSum += s / float64(len(one))
-				}
+				out.oneSided = s / float64(len(one))
 			}
 		}
+		return out
+	}
+
+	newEngine := func() *runtime.Engine {
+		if _, ok := runner.(EngineRunner); ok {
+			return runtime.NewEngine(g)
+		}
+		return nil
+	}
+	if workers == 1 {
+		eng := newEngine()
+		for trial := 0; trial < trials; trial++ {
+			outcomes[trial] = runTrial(trial, eng)
+			if outcomes[trial].err != nil {
+				break // later trials cannot change the reported error
+			}
+		}
+	} else {
+		jobs := make(chan int)
+		// Lowest failing trial index so far. Trials above it can be skipped:
+		// the merge loop below never reads past the first error, so skipping
+		// them cannot change the Report or the reported error. Trials below
+		// it must still run — one of them failing would change the report.
+		minFailed := int64(trials)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eng := newEngine()
+				for trial := range jobs {
+					if int64(trial) > atomic.LoadInt64(&minFailed) {
+						continue
+					}
+					outcomes[trial] = runTrial(trial, eng)
+					if outcomes[trial].err != nil {
+						for {
+							cur := atomic.LoadInt64(&minFailed)
+							if int64(trial) >= cur || atomic.CompareAndSwapInt64(&minFailed, cur, int64(trial)) {
+								break
+							}
+						}
+					}
+				}
+			}()
+		}
+		for trial := 0; trial < trials; trial++ {
+			jobs <- trial
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Merge in trial order: float accumulation order matches a sequential
+	// run exactly, and the first error by trial index wins.
+	agg := measure.NewAgg(g.N(), g.M())
+	var oneSidedSum, msgSum float64
+	for trial := 0; trial < trials; trial++ {
+		o := &outcomes[trial]
+		if o.err != nil {
+			return nil, o.err
+		}
+		agg.Add(o.tm)
+		msgSum += float64(o.messages)
+		oneSidedSum += o.oneSided
 	}
 	return &Report{
 		Graph:           g.String(),

@@ -25,6 +25,7 @@ type Graph struct {
 	edgeID  []int32 // len 2m; global edge id of each arc
 	twin    []int32 // len 2m; index of the reverse arc
 	eu, ev  []int32 // len m; canonical endpoints of each edge (eu < ev)
+	maxDeg  int     // cached maximum degree, fixed at build time
 }
 
 // ErrSelfLoop is returned by builders when an edge joins a node to itself.
@@ -103,6 +104,9 @@ func fromEdges(n int, edges [][2]int32) (*Graph, error) {
 	}
 	for v := 0; v < n; v++ {
 		g.offsets[v+1] = g.offsets[v] + deg[v]
+		if int(deg[v]) > g.maxDeg {
+			g.maxDeg = int(deg[v])
+		}
 	}
 	cursor := make([]int32, n)
 	copy(cursor, g.offsets[:n])
@@ -169,16 +173,9 @@ func (g *Graph) EdgeIDs(v int) []int32 {
 	return g.edgeID[g.offsets[v]:g.offsets[v+1]]
 }
 
-// MaxDegree returns the maximum degree, or 0 for the empty graph.
-func (g *Graph) MaxDegree() int {
-	d := 0
-	for v := 0; v < g.n; v++ {
-		if dv := g.Deg(v); dv > d {
-			d = dv
-		}
-	}
-	return d
-}
+// MaxDegree returns the maximum degree, or 0 for the empty graph. The value
+// is computed once at build time, so calling it in per-node loops is free.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // MinDegree returns the minimum degree, or 0 for the empty graph.
 func (g *Graph) MinDegree() int {

@@ -80,6 +80,29 @@ func (g *Graph) Components() ([]int32, int) {
 	return comp, int(next)
 }
 
+// CycleScanner runs shortest-cycle queries against one graph, reusing its
+// scratch arrays across calls: each query touches only the BFS ball it
+// explores instead of paying an O(n) reset, which turns whole-graph sweeps
+// (Girth, short-cycle fractions) from O(n²) into O(Σ ball size).
+type CycleScanner struct {
+	g     *Graph
+	root  []int32
+	dist  []int32
+	seen  []int32 // stamp of the last query that touched this node
+	stamp int32
+	queue []int32
+}
+
+// NewCycleScanner returns a scanner for g.
+func (g *Graph) NewCycleScanner() *CycleScanner {
+	return &CycleScanner{
+		g:    g,
+		root: make([]int32, g.n),
+		dist: make([]int32, g.n),
+		seen: make([]int32, g.n),
+	}
+}
+
 // ShortestCycleThrough returns the length of the shortest cycle containing
 // node v, or -1 if v lies on no cycle of length <= maxLen (maxLen <= 0
 // means unbounded). Parallel edges count as 2-cycles.
@@ -87,78 +110,86 @@ func (g *Graph) Components() ([]int32, int) {
 // The search runs a BFS from v that tracks, for every reached node, the
 // first arc taken out of v; a cycle through v closes when two different
 // initial arcs meet.
-func (g *Graph) ShortestCycleThrough(v int, maxLen int) int {
+func (s *CycleScanner) ShortestCycleThrough(v int, maxLen int) int {
+	g := s.g
 	deg := g.Deg(v)
 	if deg < 2 {
 		return -1
 	}
+	s.stamp++
+	stamp := s.stamp
 	// root[u]: index of the initial port out of v on the BFS path to u.
-	root := make([]int32, g.n)
-	dist := make([]int32, g.n)
-	for i := range root {
-		root[i] = -1
-		dist[i] = -1
+	mark := func(u int32, r, d int32) {
+		s.seen[u] = stamp
+		s.root[u] = r
+		s.dist[u] = d
 	}
-	dist[v] = 0
-	queue := make([]int32, 0, 64)
+	mark(int32(v), -1, 0)
+	queue := s.queue[:0]
 	for p := 0; p < deg; p++ {
 		u := g.Neighbor(v, p)
 		if u == v {
 			continue
 		}
-		if root[u] >= 0 {
+		if s.seen[u] == stamp {
+			s.queue = queue
 			return 2 // parallel edge
 		}
-		root[u] = int32(p)
-		dist[u] = 1
+		mark(int32(u), int32(p), 1)
 		queue = append(queue, int32(u))
 	}
 	best := -1
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		if maxLen > 0 && int(dist[x])*2 >= maxLen+2 {
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
+		if maxLen > 0 && int(s.dist[x])*2 >= maxLen+2 {
 			break
 		}
-		if best > 0 && int(dist[x])*2 >= best+2 {
+		if best > 0 && int(s.dist[x])*2 >= best+2 {
 			break
 		}
 		for p, u := range g.Neighbors(int(x)) {
 			if int(u) == v {
 				// A second edge back to v closes a cycle unless it is the
 				// tree edge we came in on at depth 1.
-				if dist[x] == 1 && int32(g.TwinPort(int(x), p)) == root[x] {
+				if s.dist[x] == 1 && int32(g.TwinPort(int(x), p)) == s.root[x] {
 					continue
 				}
-				l := int(dist[x]) + 1
+				l := int(s.dist[x]) + 1
 				if best < 0 || l < best {
 					best = l
 				}
 				continue
 			}
-			if dist[u] < 0 {
-				dist[u] = dist[x] + 1
-				root[u] = root[x]
+			if s.seen[u] != stamp {
+				mark(u, s.root[x], s.dist[x]+1)
 				queue = append(queue, u)
-			} else if root[u] != root[x] {
-				l := int(dist[u] + dist[x] + 1)
+			} else if s.root[u] != s.root[x] {
+				l := int(s.dist[u] + s.dist[x] + 1)
 				if best < 0 || l < best {
 					best = l
 				}
 			}
 		}
 	}
+	s.queue = queue
 	if best > 0 && maxLen > 0 && best > maxLen {
 		return -1
 	}
 	return best
 }
 
+// ShortestCycleThrough is the single-query convenience form; sweeps over
+// many nodes should use a CycleScanner.
+func (g *Graph) ShortestCycleThrough(v int, maxLen int) int {
+	return g.NewCycleScanner().ShortestCycleThrough(v, maxLen)
+}
+
 // Girth returns the length of the shortest cycle in g, or -1 for forests.
 func (g *Graph) Girth() int {
+	s := g.NewCycleScanner()
 	best := -1
 	for v := 0; v < g.n; v++ {
-		l := g.ShortestCycleThrough(v, best)
+		l := s.ShortestCycleThrough(v, best)
 		if l > 0 && (best < 0 || l < best) {
 			best = l
 		}

@@ -1,0 +1,59 @@
+package graph_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"avgloc/internal/graph"
+)
+
+// TestCycleScannerMatchesSingleQuery: a reused scanner must answer exactly
+// like fresh single-shot queries, for bounded and unbounded searches.
+func TestCycleScannerMatchesSingleQuery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	for trial := 0; trial < 8; trial++ {
+		g := graph.GNP(40+trial*10, 0.08, rng)
+		scan := g.NewCycleScanner()
+		for _, maxLen := range []int{0, 3, 4, 5, 8} {
+			for v := 0; v < g.N(); v++ {
+				want := g.ShortestCycleThrough(v, maxLen)
+				got := scan.ShortestCycleThrough(v, maxLen)
+				if want != got {
+					t.Fatalf("trial %d node %d maxLen %d: scanner %d, single-shot %d", trial, v, maxLen, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxDegreeCached: the build-time Δ matches a direct degree scan on a
+// variety of graphs, including after derived-graph constructions.
+func TestMaxDegreeCached(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	graphs := []*graph.Graph{
+		graph.Cycle(10),
+		graph.Path(7),
+		graph.Complete(6),
+		graph.GNP(50, 0.1, rng),
+		graph.RandomRegular(64, 5, rng),
+		graph.LineGraph(graph.RandomRegular(32, 4, rng)),
+	}
+	if b := graph.NewBuilder(3); true {
+		g, err := b.Build() // edgeless graph
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	for i, g := range graphs {
+		want := 0
+		for v := 0; v < g.N(); v++ {
+			if d := g.Deg(v); d > want {
+				want = d
+			}
+		}
+		if got := g.MaxDegree(); got != want {
+			t.Fatalf("graph %d: MaxDegree() = %d, degree scan says %d", i, got, want)
+		}
+	}
+}

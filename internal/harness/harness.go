@@ -7,8 +7,11 @@ package harness
 import (
 	"fmt"
 	"math/rand/v2"
+	goruntime "runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"avgloc/internal/alg/coloring"
 	"avgloc/internal/alg/matching"
@@ -76,11 +79,129 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Options configures an experiment run.
+type Options struct {
+	// Scale selects the sweep size (default Quick).
+	Scale Scale
+	// Seed is the master seed; every random stream an experiment uses is
+	// derived from it, so equal Options give bit-identical tables at any
+	// parallelism.
+	Seed uint64
+	// Parallelism bounds the total worker count an experiment uses, split
+	// between concurrent table rows and core.Measure trial fan-out.
+	// Zero or negative selects GOMAXPROCS.
+	Parallelism int
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return goruntime.GOMAXPROCS(0)
+}
+
 // Experiment is a runnable experiment.
 type Experiment struct {
 	ID    string
-	Run   func(scale Scale, seed uint64) (*Table, error)
+	Run   func(opt Options) (*Table, error)
 	Brief string
+}
+
+// rowPool collects row-producing jobs and runs them on a bounded worker
+// pool. Graph generation and every draw from an experiment's shared PRNG
+// happen while jobs are BUILT (sequentially, in row order); jobs themselves
+// only run measurements whose random streams are derived from the master
+// seed. Results are merged in job order, so the table is bit-identical to a
+// sequential run.
+type rowPool struct {
+	jobs []func(measurePar int) ([][]string, error)
+}
+
+// add queues a job producing any number of consecutive rows.
+func (p *rowPool) add(job func(measurePar int) ([][]string, error)) {
+	p.jobs = append(p.jobs, job)
+}
+
+// addRow queues a job producing exactly one row.
+func (p *rowPool) addRow(job func(measurePar int) ([]string, error)) {
+	p.add(func(measurePar int) ([][]string, error) {
+		row, err := job(measurePar)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{row}, nil
+	})
+}
+
+// run executes the queued jobs with at most `workers` total workers: up to
+// min(workers, len(jobs)) jobs run concurrently and each job receives the
+// leftover budget as its core.Measure trial parallelism. The first error in
+// job order wins.
+func (p *rowPool) run(workers int) ([][]string, error) {
+	n := len(p.jobs)
+	if workers < 1 {
+		workers = 1
+	}
+	rowWorkers := workers
+	if rowWorkers > n {
+		rowWorkers = n
+	}
+	measurePar := 1
+	if rowWorkers > 0 {
+		measurePar = workers / rowWorkers
+	}
+	if measurePar < 1 {
+		measurePar = 1
+	}
+	results := make([][][]string, n)
+	errs := make([]error, n)
+	if rowWorkers <= 1 {
+		for i, job := range p.jobs {
+			results[i], errs[i] = job(measurePar)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		idx := make(chan int)
+		// Jobs above the lowest failing index are skipped: the merge below
+		// stops at the first error, so their results are never read.
+		minFailed := int64(n)
+		var wg sync.WaitGroup
+		for w := 0; w < rowWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if int64(i) > atomic.LoadInt64(&minFailed) {
+						continue
+					}
+					results[i], errs[i] = p.jobs[i](measurePar)
+					if errs[i] != nil {
+						for {
+							cur := atomic.LoadInt64(&minFailed)
+							if int64(i) >= cur || atomic.CompareAndSwapInt64(&minFailed, cur, int64(i)) {
+								break
+							}
+						}
+					}
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	var rows [][]string
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		rows = append(rows, results[i]...)
+	}
+	return rows, nil
 }
 
 // All returns the experiments in id order.
@@ -104,10 +225,10 @@ func All() []Experiment {
 }
 
 // Run executes the experiment with the given id.
-func Run(id string, scale Scale, seed uint64) (*Table, error) {
+func Run(id string, opt Options) (*Table, error) {
 	for _, e := range All() {
 		if e.ID == id {
-			return e.Run(scale, seed)
+			return e.Run(opt)
 		}
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q", id)
@@ -120,12 +241,13 @@ func regular(n, d int, rng *rand.Rand) *graph.Graph { return graph.RandomRegular
 
 // E1RulingSet: Theorem 2 — the (2,2)-ruling set node average stays O(1)
 // while the MIS node average exceeds it, across n and Δ.
-func E1RulingSet(scale Scale, seed uint64) (*Table, error) {
+func E1RulingSet(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 1))
 	ns := []int{256, 1024}
 	ds := []int{4, 8, 16}
 	trials := 3
-	if scale == Full {
+	if opt.Scale == Full {
 		ns = []int{256, 1024, 4096, 16384}
 		ds = []int{4, 8, 16, 32, 64}
 		trials = 8
@@ -136,41 +258,51 @@ func E1RulingSet(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "Theorem 2: randomized (2,2)-ruling set node-avg O(1); Theorem 16: MIS node-avg grows",
 		Columns: []string{"n", "Δ", "rs22 nodeAvg", "rs22 worst", "luby nodeAvg", "ghaffari nodeAvg"},
 	}
+	var pool rowPool
 	for _, n := range ns {
 		for _, d := range ds {
 			if d >= n {
 				continue
 			}
+			n, d := n, d
 			g := regular(n, d, rng)
-			rs, err := core.Measure(g, core.RulingSet(2), core.MessagePassing(ruling.Rand22{}), core.MeasureOptions{Trials: trials, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			lb, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			gh, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Ghaffari{}), core.MeasureOptions{Trials: trials, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprint(n), fmt.Sprint(d),
-				f2(rs.NodeAvg), f1(rs.WorstMean), f2(lb.NodeAvg), f2(gh.NodeAvg),
+			pool.addRow(func(mp int) ([]string, error) {
+				rs, err := core.Measure(g, core.RulingSet(2), core.MessagePassing(ruling.Rand22{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				if err != nil {
+					return nil, err
+				}
+				lb, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				if err != nil {
+					return nil, err
+				}
+				gh, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Ghaffari{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				if err != nil {
+					return nil, err
+				}
+				return []string{
+					fmt.Sprint(n), fmt.Sprint(d),
+					f2(rs.NodeAvg), f1(rs.WorstMean), f2(lb.NodeAvg), f2(gh.NodeAvg),
+				}, nil
 			})
 		}
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "rs22 phases are 5 rounds; flat columns = O(1) node average")
 	return t, nil
 }
 
 // E2DetRulingSet: Theorem 3 — deterministic ruling sets: node average
 // O(log* n)-flat in n, measured domination radius within the budget.
-func E2DetRulingSet(scale Scale, seed uint64) (*Table, error) {
+func E2DetRulingSet(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 2))
 	ns := []int{256, 1024}
 	ds := []int{4, 8}
-	if scale == Full {
+	if opt.Scale == Full {
 		ns = []int{256, 1024, 4096, 16384}
 		ds = []int{4, 8, 16}
 	}
@@ -180,44 +312,54 @@ func E2DetRulingSet(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "Theorem 3: node-averaged complexity O(log* n); β = O(log Δ) resp. O(log log n)",
 		Columns: []string{"n", "Δ", "variant", "nodeAvg", "worst", "β measured", "β budget"},
 	}
+	var pool rowPool
 	for _, variant := range []ruling.DetVariant{ruling.LogDelta, ruling.LogLogN} {
 		for _, n := range ns {
 			for _, d := range ds {
+				n, d, variant := n, d, variant
 				g := regular(n, d, rng)
-				alg := ruling.Det{Variant: variant}
-				budget := alg.Iterations(n, d) + 1
-				rep, err := core.Measure(g, core.RulingSet(budget), core.MessagePassing(alg), core.MeasureOptions{Trials: 1, Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				// Re-derive the measured radius for the table.
-				assignment := ids.RandomPerm(n, rand.New(rand.NewPCG(seed, 77)))
-				res, err := runtime.Run(g, alg, runtime.Config{IDs: assignment})
-				if err != nil {
-					return nil, err
-				}
-				radius, err := graph.DominationRadius(g, ruling.SetFromResult(res))
-				if err != nil {
-					return nil, err
-				}
-				t.Rows = append(t.Rows, []string{
-					fmt.Sprint(n), fmt.Sprint(d), alg.Name(),
-					f2(rep.NodeAvg), f1(rep.WorstMean), fmt.Sprint(radius), fmt.Sprint(budget),
+				pool.addRow(func(mp int) ([]string, error) {
+					alg := ruling.Det{Variant: variant}
+					budget := alg.Iterations(n, d) + 1
+					rep, err := core.Measure(g, core.RulingSet(budget), core.MessagePassing(alg), core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
+					if err != nil {
+						return nil, err
+					}
+					// Re-derive the measured radius for the table.
+					assignment := ids.RandomPerm(n, rand.New(rand.NewPCG(seed, 77)))
+					res, err := runtime.Run(g, alg, runtime.Config{IDs: assignment})
+					if err != nil {
+						return nil, err
+					}
+					radius, err := graph.DominationRadius(g, ruling.SetFromResult(res))
+					if err != nil {
+						return nil, err
+					}
+					return []string{
+						fmt.Sprint(n), fmt.Sprint(d), alg.Name(),
+						f2(rep.NodeAvg), f1(rep.WorstMean), fmt.Sprint(radius), fmt.Sprint(budget),
+					}, nil
 				})
 			}
 		}
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "finisher substitution per DESIGN.md §3: Linial+KW instead of [BEK15]/[RG20]")
 	return t, nil
 }
 
 // E3RandMatching: Theorem 4 — randomized maximal matching: flat edge
 // average, logarithmic worst case.
-func E3RandMatching(scale Scale, seed uint64) (*Table, error) {
+func E3RandMatching(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 3))
 	ns := []int{256, 1024, 4096}
 	trials := 3
-	if scale == Full {
+	if opt.Scale == Full {
 		ns = []int{256, 1024, 4096, 16384, 65536}
 		trials = 8
 	}
@@ -227,28 +369,39 @@ func E3RandMatching(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "Theorem 4: edge-averaged O(1), worst case O(log n) w.h.p.",
 		Columns: []string{"n", "alg", "edgeAvg", "nodeAvg", "worstMean", "worstMax"},
 	}
+	var pool rowPool
 	for _, n := range ns {
+		n := n
 		g := regular(n, 6, rng)
 		for _, alg := range []runtime.Algorithm{matching.RandLuby{}, matching.IsraeliItai{}} {
-			rep, err := core.Measure(g, core.MaximalMatching, core.MessagePassing(alg), core.MeasureOptions{Trials: trials, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprint(n), alg.Name(), f2(rep.EdgeAvg), f2(rep.NodeAvg), f1(rep.WorstMean), f1(rep.WorstMax),
+			alg := alg
+			pool.addRow(func(mp int) ([]string, error) {
+				rep, err := core.Measure(g, core.MaximalMatching, core.MessagePassing(alg), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				if err != nil {
+					return nil, err
+				}
+				return []string{
+					fmt.Sprint(n), alg.Name(), f2(rep.EdgeAvg), f2(rep.NodeAvg), f1(rep.WorstMean), f1(rep.WorstMax),
+				}, nil
 			})
 		}
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // E4DetMatching: Theorem 5 — deterministic matching: averaged complexities
 // grow with Δ but not with n.
-func E4DetMatching(scale Scale, seed uint64) (*Table, error) {
+func E4DetMatching(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 4))
 	type cfg struct{ n, d int }
 	cfgs := []cfg{{512, 4}, {512, 8}, {512, 16}, {128, 8}, {2048, 8}}
-	if scale == Full {
+	if opt.Scale == Full {
 		cfgs = []cfg{{1024, 4}, {1024, 8}, {1024, 16}, {1024, 32}, {256, 8}, {4096, 8}, {16384, 8}}
 	}
 	t := &Table{
@@ -257,26 +410,36 @@ func E4DetMatching(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "Theorem 5: edge-avg O(log²Δ + log* n), node-avg O(log³Δ + log* n), n-independent",
 		Columns: []string{"n", "Δ", "edgeAvg", "nodeAvg", "worst"},
 	}
+	var pool rowPool
 	for _, c := range cfgs {
+		c := c
 		g := regular(c.n, c.d, rng)
-		rep, err := core.Measure(g, core.MaximalMatching, core.DetMatchingRunner(), core.MeasureOptions{Trials: 1, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(c.n), fmt.Sprint(c.d), f1(rep.EdgeAvg), f1(rep.NodeAvg), f1(rep.WorstMax),
+		pool.addRow(func(mp int) ([]string, error) {
+			rep, err := core.Measure(g, core.MaximalMatching, core.DetMatchingRunner(), core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			return []string{
+				fmt.Sprint(c.n), fmt.Sprint(c.d), f1(rep.EdgeAvg), f1(rep.NodeAvg), f1(rep.WorstMax),
+			}, nil
 		})
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "rows with equal Δ and varying n show the n-independence; rows with equal n show the Δ growth")
 	return t, nil
 }
 
 // E5SinklessDet: Theorem 6 — deterministic sinkless orientation node
 // average flat vs the baseline's log n growth.
-func E5SinklessDet(scale Scale, seed uint64) (*Table, error) {
+func E5SinklessDet(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 5))
 	ns := []int{512, 2048, 8192}
-	if scale == Full {
+	if opt.Scale == Full {
 		ns = []int{512, 2048, 8192, 32768, 131072}
 	}
 	detAvg, detWorst, _ := core.SinklessRunners()
@@ -286,20 +449,29 @@ func E5SinklessDet(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "Theorem 6: node-averaged O(log* n) with worst case O(log n)",
 		Columns: []string{"n", "thm6 nodeAvg", "thm6 worst", "base nodeAvg", "base worst"},
 	}
+	var pool rowPool
 	for _, n := range ns {
+		n := n
 		g := regular(n, 3, rng)
-		a, err := core.Measure(g, core.SinklessOrientation, detAvg, core.MeasureOptions{Trials: 1, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		b, err := core.Measure(g, core.SinklessOrientation, detWorst, core.MeasureOptions{Trials: 1, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(n), f1(a.NodeAvg), f1(a.WorstMax), f1(b.NodeAvg), f1(b.WorstMax),
+		pool.addRow(func(mp int) ([]string, error) {
+			a, err := core.Measure(g, core.SinklessOrientation, detAvg, core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			b, err := core.Measure(g, core.SinklessOrientation, detWorst, core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			return []string{
+				fmt.Sprint(n), f1(a.NodeAvg), f1(a.WorstMax), f1(b.NodeAvg), f1(b.WorstMax),
+			}, nil
 		})
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "thm6 absolute values carry r=2 constants; the claim is in the growth columns")
 	return t, nil
 }
@@ -316,12 +488,13 @@ func kmwInstance(k, beta, q int, rng *rand.Rand) (*lift.Instance, error) {
 // E6MISLowerBound: Theorem 16 — MIS node averages grow along the KMW
 // family while a degree-matched random regular control stays put; at least
 // half of S(c0) joins every MIS.
-func E6MISLowerBound(scale Scale, seed uint64) (*Table, error) {
+func E6MISLowerBound(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 6))
 	type cfg struct{ k, beta, q int }
 	cfgs := []cfg{{0, 4, 4}, {1, 4, 2}}
 	trials := 2
-	if scale == Full {
+	if opt.Scale == Full {
 		cfgs = []cfg{{0, 4, 8}, {0, 8, 8}, {1, 4, 4}, {1, 6, 2}, {2, 4, 1}}
 		trials = 4
 	}
@@ -331,7 +504,9 @@ func E6MISLowerBound(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "Theorem 16: node-avg Ω(min{log Δ/log log Δ, √(log n/log log n)}); ≥ |S(c0)|/2 joins any MIS",
 		Columns: []string{"k", "β", "q", "n", "Δ", "alg", "nodeAvg", "control nodeAvg", "S(c0)∩MIS frac"},
 	}
+	var pool rowPool
 	for _, c := range cfgs {
+		c := c
 		inst, err := kmwInstance(c.k, c.beta, c.q, rng)
 		if err != nil {
 			return nil, err
@@ -344,43 +519,54 @@ func E6MISLowerBound(scale Scale, seed uint64) (*Table, error) {
 		}
 		control := regular(nCtl, deg, rng)
 		for _, alg := range []runtime.Algorithm{mis.Luby{}, mis.Ghaffari{}} {
-			rep, err := core.Measure(g, core.MIS, core.MessagePassing(alg), core.MeasureOptions{Trials: trials, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			ctl, err := core.Measure(control, core.MIS, core.MessagePassing(alg), core.MeasureOptions{Trials: trials, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			// S(c0) participation in one concrete MIS.
-			res, err := runtime.Run(g, alg, runtime.Config{IDs: ids.RandomPerm(g.N(), rng), Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			set := mis.SetFromResult(res)
-			s0 := inst.Cluster(0)
-			in := 0
-			for _, v := range s0 {
-				if set[v] {
-					in++
+			alg := alg
+			// Draw from the experiment stream while building, so the
+			// assignment does not depend on job scheduling.
+			assignment := ids.RandomPerm(g.N(), rng)
+			pool.addRow(func(mp int) ([]string, error) {
+				rep, err := core.Measure(g, core.MIS, core.MessagePassing(alg), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				if err != nil {
+					return nil, err
 				}
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprint(c.k), fmt.Sprint(c.beta), fmt.Sprint(c.q),
-				fmt.Sprint(g.N()), fmt.Sprint(deg), alg.Name(),
-				f2(rep.NodeAvg), f2(ctl.NodeAvg),
-				f2(float64(in) / float64(len(s0))),
+				ctl, err := core.Measure(control, core.MIS, core.MessagePassing(alg), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				if err != nil {
+					return nil, err
+				}
+				// S(c0) participation in one concrete MIS.
+				res, err := runtime.Run(g, alg, runtime.Config{IDs: assignment, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				set := mis.SetFromResult(res)
+				s0 := inst.Cluster(0)
+				in := 0
+				for _, v := range s0 {
+					if set[v] {
+						in++
+					}
+				}
+				return []string{
+					fmt.Sprint(c.k), fmt.Sprint(c.beta), fmt.Sprint(c.q),
+					fmt.Sprint(g.N()), fmt.Sprint(deg), alg.Name(),
+					f2(rep.NodeAvg), f2(ctl.NodeAvg),
+					f2(float64(in) / float64(len(s0))),
+				}, nil
 			})
 		}
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "control: random regular graph with matching n and Δ")
 	return t, nil
 }
 
 // E7Indistinguishability: Theorem 11 — Algorithm 1 isomorphisms and
 // universal-cover hashes.
-func E7Indistinguishability(scale Scale, seed uint64) (*Table, error) {
-	rng := rand.New(rand.NewPCG(seed, 7))
+func E7Indistinguishability(opt Options) (*Table, error) {
+	rng := rand.New(rand.NewPCG(opt.Seed, 7))
 	t := &Table{
 		ID:      "E7",
 		Title:   "k-hop indistinguishability of S(c0) and S(c1)",
@@ -412,7 +598,7 @@ func E7Indistinguishability(scale Scale, seed uint64) (*Table, error) {
 	// lifts preserve universal covers, so this tests the view equality of
 	// the (infeasibly large) high-girth lift exactly.
 	ks := []int{1, 2}
-	if scale == Full {
+	if opt.Scale == Full {
 		ks = []int{1, 2, 3}
 	}
 	for _, k := range ks {
@@ -448,10 +634,10 @@ func firstTreelike(g *graph.Graph, cluster []int32, k int) int32 {
 
 // E8LiftGirth: Lemma 12 / Corollary 15 — short-cycle node fractions fall
 // with the lift order.
-func E8LiftGirth(scale Scale, seed uint64) (*Table, error) {
-	rng := rand.New(rand.NewPCG(seed, 8))
+func E8LiftGirth(opt Options) (*Table, error) {
+	rng := rand.New(rand.NewPCG(opt.Seed, 8))
 	qs := []int{1, 4, 16}
-	if scale == Full {
+	if opt.Scale == Full {
 		qs = []int{1, 4, 16, 64}
 	}
 	t := &Table{
@@ -464,29 +650,39 @@ func E8LiftGirth(scale Scale, seed uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	var pool rowPool
 	for _, q := range qs {
+		q := q
 		lifted, err := lift.Random(base.G, q, rng)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(q), fmt.Sprint(lifted.N()),
-			f2(lift.ShortCycleFraction(lifted, 3)),
-			f2(lift.ShortCycleFraction(lifted, 5)),
-			fmt.Sprint(lifted.Girth()),
+		pool.addRow(func(int) ([]string, error) {
+			return []string{
+				fmt.Sprint(q), fmt.Sprint(lifted.N()),
+				f2(lift.ShortCycleFraction(lifted, 3)),
+				f2(lift.ShortCycleFraction(lifted, 5)),
+				fmt.Sprint(lifted.Girth()),
+			}, nil
 		})
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // E9MatchingLowerBound: Theorem 17 — node average of maximal matching on
 // the doubled KMW construction vs its edge average.
-func E9MatchingLowerBound(scale Scale, seed uint64) (*Table, error) {
+func E9MatchingLowerBound(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 9))
 	type cfg struct{ k, beta, q int }
 	cfgs := []cfg{{0, 8, 2}, {1, 4, 2}}
 	trials := 2
-	if scale == Full {
+	if opt.Scale == Full {
 		cfgs = []cfg{{0, 8, 4}, {0, 16, 2}, {1, 4, 4}, {1, 6, 2}}
 		trials = 4
 	}
@@ -496,7 +692,9 @@ func E9MatchingLowerBound(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "Theorem 17: node-avg inherits the KMW bound while Theorem 4 keeps edge-avg O(1)",
 		Columns: []string{"k", "β", "q", "n", "edgeAvg", "nodeAvg", "cross frac"},
 	}
+	var pool rowPool
 	for _, c := range cfgs {
+		c := c
 		base, err := basegraph.Build(basegraph.Params{K: c.k, Beta: c.beta})
 		if err != nil {
 			return nil, err
@@ -505,29 +703,38 @@ func E9MatchingLowerBound(scale Scale, seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := core.Measure(inst.G, core.MaximalMatching, core.MessagePassing(matching.RandLuby{}), core.MeasureOptions{Trials: trials, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		res, err := runtime.Run(inst.G, matching.RandLuby{}, runtime.Config{IDs: ids.RandomPerm(inst.G.N(), rng), Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		frac := inst.CrossFractionInMatching(matching.SetFromResult(res))
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(c.k), fmt.Sprint(c.beta), fmt.Sprint(c.q), fmt.Sprint(inst.G.N()),
-			f2(rep.EdgeAvg), f2(rep.NodeAvg), f2(frac),
+		assignment := ids.RandomPerm(inst.G.N(), rng)
+		pool.addRow(func(mp int) ([]string, error) {
+			rep, err := core.Measure(inst.G, core.MaximalMatching, core.MessagePassing(matching.RandLuby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			res, err := runtime.Run(inst.G, matching.RandLuby{}, runtime.Config{IDs: assignment, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			frac := inst.CrossFractionInMatching(matching.SetFromResult(res))
+			return []string{
+				fmt.Sprint(c.k), fmt.Sprint(c.beta), fmt.Sprint(c.q), fmt.Sprint(inst.G.N()),
+				f2(rep.EdgeAvg), f2(rep.NodeAvg), f2(frac),
+			}, nil
 		})
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // E10CycleMIS: the [Feu20] context — deterministic MIS on cycles pays
 // Θ(log* n) in the node average too; randomized MIS is O(1).
-func E10CycleMIS(scale Scale, seed uint64) (*Table, error) {
+func E10CycleMIS(opt Options) (*Table, error) {
+	seed := opt.Seed
 	ns := []int{64, 512, 4096}
 	trials := 3
-	if scale == Full {
+	if opt.Scale == Full {
 		ns = []int{64, 512, 4096, 32768}
 		trials = 8
 	}
@@ -537,30 +744,40 @@ func E10CycleMIS(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "[Feu20]: deterministic node-avg Θ(log* n) (= worst case); randomized O(1)",
 		Columns: []string{"n", "det nodeAvg", "det worst", "luby nodeAvg", "luby worstMean"},
 	}
+	var pool rowPool
 	for _, n := range ns {
+		n := n
 		g := graph.Cycle(n)
-		det, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Det{}), core.MeasureOptions{Trials: 1, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		lub, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(n), f2(det.NodeAvg), f1(det.WorstMax), f2(lub.NodeAvg), f1(lub.WorstMean),
+		pool.addRow(func(mp int) ([]string, error) {
+			det, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Det{}), core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			lub, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			return []string{
+				fmt.Sprint(n), f2(det.NodeAvg), f1(det.WorstMax), f2(lub.NodeAvg), f1(lub.WorstMean),
+			}, nil
 		})
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // E11LubyEdges: Section 3.1 — one-sided edge averages of Luby's MIS, and
 // the line-graph equivalence of matching and MIS.
-func E11LubyEdges(scale Scale, seed uint64) (*Table, error) {
+func E11LubyEdges(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 11))
 	ns := []int{256, 1024}
 	trials := 3
-	if scale == Full {
+	if opt.Scale == Full {
 		ns = []int{256, 1024, 4096, 16384}
 		trials = 8
 	}
@@ -570,36 +787,46 @@ func E11LubyEdges(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "§3.1: one-sided edge-avg O(1) (footnote 2); node-avg(MIS on L(G)) ≈ edge-avg(MM on G)",
 		Columns: []string{"n", "Δ", "oneSidedEdgeAvg", "two-sided edgeAvg", "L(G) MIS nodeAvg", "MM edgeAvg"},
 	}
+	var pool rowPool
 	for _, n := range ns {
+		n := n
 		g := regular(n, 6, rng)
-		lubyRep, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		lg := graph.LineGraph(g)
-		lgRep, err := core.Measure(lg, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		mmRep, err := core.Measure(g, core.MaximalMatching, core.MessagePassing(matching.RandLuby{}), core.MeasureOptions{Trials: trials, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprint(n), "6",
-			f2(lubyRep.OneSidedEdgeAvg), f2(lubyRep.EdgeAvg),
-			f2(lgRep.NodeAvg), f2(mmRep.EdgeAvg),
+		pool.addRow(func(mp int) ([]string, error) {
+			lubyRep, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			lg := graph.LineGraph(g)
+			lgRep, err := core.Measure(lg, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			mmRep, err := core.Measure(g, core.MaximalMatching, core.MessagePassing(matching.RandLuby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			return []string{
+				fmt.Sprint(n), "6",
+				f2(lubyRep.OneSidedEdgeAvg), f2(lubyRep.EdgeAvg),
+				f2(lgRep.NodeAvg), f2(mmRep.EdgeAvg),
+			}, nil
 		})
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // E12MeasureChain: Appendix A — the measured chain of complexity notions.
-func E12MeasureChain(scale Scale, seed uint64) (*Table, error) {
+func E12MeasureChain(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 12))
 	n := 512
 	trials := 5
-	if scale == Full {
+	if opt.Scale == Full {
 		n = 4096
 		trials = 16
 	}
@@ -611,9 +838,10 @@ func E12MeasureChain(scale Scale, seed uint64) (*Table, error) {
 		Columns: []string{"measure", "value"},
 	}
 	agg := measure.NewAgg(g.N(), g.M())
+	eng := runtime.NewEngine(g)
 	for trial := 0; trial < trials; trial++ {
 		assignment := ids.RandomPerm(n, rng)
-		res, err := runtime.Run(g, mis.Luby{}, runtime.Config{IDs: assignment, Seed: seed + uint64(trial)})
+		res, err := eng.Run(mis.Luby{}, runtime.Config{IDs: assignment, Seed: seed + uint64(trial)})
 		if err != nil {
 			return nil, err
 		}
@@ -651,12 +879,13 @@ func E12MeasureChain(scale Scale, seed uint64) (*Table, error) {
 
 // E13ColoringAvg: [BT19]/[Joh99] — randomized (Δ+1)-coloring node average
 // stays O(1) across Δ and n.
-func E13ColoringAvg(scale Scale, seed uint64) (*Table, error) {
+func E13ColoringAvg(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 13))
 	type cfg struct{ n, d int }
 	cfgs := []cfg{{256, 4}, {256, 16}, {2048, 4}, {2048, 16}}
 	trials := 3
-	if scale == Full {
+	if opt.Scale == Full {
 		cfgs = []cfg{{256, 4}, {256, 16}, {256, 64}, {2048, 4}, {2048, 16}, {2048, 64}, {16384, 16}}
 		trials = 8
 	}
@@ -666,24 +895,34 @@ func E13ColoringAvg(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "[BT19]: node-averaged complexity O(1) (constant per-phase success probability)",
 		Columns: []string{"n", "Δ", "nodeAvg", "worstMean"},
 	}
+	var pool rowPool
 	for _, c := range cfgs {
+		c := c
 		g := regular(c.n, c.d, rng)
-		rep, err := core.Measure(g, core.Coloring(c.d+1), core.MessagePassing(coloring.RandGreedy{}), core.MeasureOptions{Trials: trials, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{fmt.Sprint(c.n), fmt.Sprint(c.d), f2(rep.NodeAvg), f1(rep.WorstMean)})
+		pool.addRow(func(mp int) ([]string, error) {
+			rep, err := core.Measure(g, core.Coloring(c.d+1), core.MessagePassing(coloring.RandGreedy{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			return []string{fmt.Sprint(c.n), fmt.Sprint(c.d), f2(rep.NodeAvg), f1(rep.WorstMean)}, nil
+		})
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // E14SinklessRand: [GS17a] — randomized sinkless orientation node average
 // stays O(1) while the deterministic worst case must grow (E5).
-func E14SinklessRand(scale Scale, seed uint64) (*Table, error) {
+func E14SinklessRand(opt Options) (*Table, error) {
+	seed := opt.Seed
 	rng := rand.New(rand.NewPCG(seed, 14))
 	ns := []int{512, 2048, 8192}
 	trials := 3
-	if scale == Full {
+	if opt.Scale == Full {
 		ns = []int{512, 2048, 8192, 32768, 131072}
 		trials = 8
 	}
@@ -694,14 +933,23 @@ func E14SinklessRand(scale Scale, seed uint64) (*Table, error) {
 		Claim:   "[GS17a] via §3.3: node-averaged complexity O(1)",
 		Columns: []string{"n", "nodeAvg", "edgeAvg", "worstMean"},
 	}
+	var pool rowPool
 	for _, n := range ns {
+		n := n
 		g := regular(n, 3, rng)
-		rep, err := core.Measure(g, core.SinklessOrientation, randRunner, core.MeasureOptions{Trials: trials, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{fmt.Sprint(n), f2(rep.NodeAvg), f2(rep.EdgeAvg), f1(rep.WorstMean)})
+		pool.addRow(func(mp int) ([]string, error) {
+			rep, err := core.Measure(g, core.SinklessOrientation, randRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			if err != nil {
+				return nil, err
+			}
+			return []string{fmt.Sprint(n), f2(rep.NodeAvg), f2(rep.EdgeAvg), f1(rep.WorstMean)}, nil
+		})
 	}
+	rows, err := pool.run(opt.workers())
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 

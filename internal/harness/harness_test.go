@@ -16,7 +16,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			t.Parallel()
-			tab, err := e.Run(harness.Quick, 42)
+			tab, err := e.Run(harness.Options{Scale: harness.Quick, Seed: 42})
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
@@ -36,8 +36,26 @@ func TestAllExperimentsQuick(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if _, err := harness.Run("E99", harness.Quick, 1); err == nil {
+	if _, err := harness.Run("E99", harness.Options{Scale: harness.Quick, Seed: 1}); err == nil {
 		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestTablesIdenticalAcrossParallelism asserts the determinism contract of
+// the harness: tables are bit-identical whatever the worker budget.
+func TestTablesIdenticalAcrossParallelism(t *testing.T) {
+	for _, id := range []string{"E1", "E10"} {
+		seq, err := harness.Run(id, harness.Options{Scale: harness.Quick, Seed: 42, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		par, err := harness.Run(id, harness.Options{Scale: harness.Quick, Seed: 42, Parallelism: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if seq.String() != par.String() {
+			t.Fatalf("%s: tables differ across parallelism:\n--- sequential\n%s\n--- parallel\n%s", id, seq, par)
+		}
 	}
 }
 
@@ -57,7 +75,7 @@ func cell(t *testing.T, tab *harness.Table, row int, col string) float64 {
 }
 
 func TestE1Shape(t *testing.T) {
-	tab, err := harness.Run("E1", harness.Quick, 7)
+	tab, err := harness.Run("E1", harness.Options{Scale: harness.Quick, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +91,7 @@ func TestE1Shape(t *testing.T) {
 }
 
 func TestE10Shape(t *testing.T) {
-	tab, err := harness.Run("E10", harness.Quick, 7)
+	tab, err := harness.Run("E10", harness.Options{Scale: harness.Quick, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +109,7 @@ func TestE10Shape(t *testing.T) {
 }
 
 func TestE12ChainHolds(t *testing.T) {
-	tab, err := harness.Run("E12", harness.Quick, 7)
+	tab, err := harness.Run("E12", harness.Options{Scale: harness.Quick, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

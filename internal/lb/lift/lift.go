@@ -85,8 +85,9 @@ func ShortCycleFraction(g *graph.Graph, l int) float64 {
 		return 0
 	}
 	count := 0
+	scan := g.NewCycleScanner()
 	for v := 0; v < g.N(); v++ {
-		if c := g.ShortestCycleThrough(v, l); c > 0 {
+		if c := scan.ShortestCycleThrough(v, l); c > 0 {
 			count++
 		}
 	}

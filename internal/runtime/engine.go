@@ -8,38 +8,68 @@ import (
 	"avgloc/internal/graph"
 )
 
-// execution holds the mutable state of one run.
+// execution holds the mutable state of one run. Its buffers are carved out
+// of a handful of shared arenas sized from the graph's arc structure, so
+// engine setup performs O(1) allocations per run instead of O(1) per node,
+// and an execution bound to a graph can be reset and reused across trials
+// (see Engine).
 type execution struct {
 	g   *graph.Graph
 	alg Algorithm
 	cfg Config
 
+	// Static topology, computed once per graph.
 	arcOff  []int32 // len n+1: prefix sums of degrees
 	scatter []int32 // arc (v,p) -> destination arc index at the receiver
-	cur     []Message
-	next    []Message
 
-	progs  []Program
-	ctxs   []*Context
+	// Message double buffer, len arcs each.
+	cur  []Message
+	next []Message
+
+	// Per-node state. ctxs, views, rngs and pcgs are dense arenas; the
+	// per-node slices (NeighborIDs, outbox, edge ledgers) are windows into
+	// the shared arc-indexed arenas below.
+	progs     []Program
+	ctxs      []Context
+	views     []NodeView
+	rngs      []rand.Rand
+	pcgs      []rand.PCG
+	nbrIDs    []int64   // len arcs: NeighborIDs arena
+	outbox    []Message // len arcs: Context.outbox arena
+	edgeOut   []Message // len arcs: Context.edgeOut arena
+	edgeSet   []bool    // len arcs: Context.edgeSet arena
+	edgeRound []int32   // len arcs: Context.edgeRound arena
+
 	halted []bool
 	haltAt []int32
 	live   int
 
+	// active is the frontier worklist: exactly the nodes that have not
+	// halted, in increasing order. A node leaves the list at its halt round
+	// (stable in-place compaction), so per-round work is O(Σ deg(active))
+	// rather than O(n).
+	active []int32
+
 	maxRounds int
 }
 
-func newExecution(g *graph.Graph, alg Algorithm, cfg Config) *execution {
+// newExecution allocates an execution for g. Only topology-independent
+// sizing happens here; per-run state is installed by reset. Setup is
+// O(n + m): the Δ lookup is a cached graph attribute and every per-node
+// buffer is a window into a shared arena.
+func newExecution(g *graph.Graph) *execution {
 	n := g.N()
 	ex := &execution{
 		g:      g,
-		alg:    alg,
-		cfg:    cfg,
 		arcOff: make([]int32, n+1),
 		progs:  make([]Program, n),
-		ctxs:   make([]*Context, n),
+		ctxs:   make([]Context, n),
+		views:  make([]NodeView, n),
+		rngs:   make([]rand.Rand, n),
+		pcgs:   make([]rand.PCG, n),
 		halted: make([]bool, n),
 		haltAt: make([]int32, n),
-		live:   n,
+		active: make([]int32, n),
 	}
 	for v := 0; v < n; v++ {
 		ex.arcOff[v+1] = ex.arcOff[v] + int32(g.Deg(v))
@@ -55,45 +85,79 @@ func newExecution(g *graph.Graph, alg Algorithm, cfg Config) *execution {
 	}
 	ex.cur = make([]Message, arcs)
 	ex.next = make([]Message, arcs)
+	ex.nbrIDs = make([]int64, arcs)
+	ex.outbox = make([]Message, arcs)
+	ex.edgeOut = make([]Message, arcs)
+	ex.edgeSet = make([]bool, arcs)
+	ex.edgeRound = make([]int32, arcs)
+	return ex
+}
+
+// reset installs a fresh run of alg under cfg, reusing every arena. After
+// reset the execution is in the same state a freshly built seed-engine
+// execution would be in.
+func (ex *execution) reset(alg Algorithm, cfg Config) {
+	g := ex.g
+	n := g.N()
+	ex.alg = alg
+	ex.cfg = cfg
 	ex.maxRounds = cfg.MaxRounds
 	if ex.maxRounds <= 0 {
 		ex.maxRounds = DefaultMaxRounds(n)
 	}
+	// Message buffers may hold leftovers from an aborted run; per-step
+	// inbox clearing only guarantees cleanliness for completed runs.
+	clear(ex.cur)
+	clear(ex.next)
+	clear(ex.outbox)
+	clear(ex.edgeOut)
+	clear(ex.edgeSet)
+	clear(ex.edgeRound)
+	ex.active = ex.active[:cap(ex.active)]
+	maxDeg := g.MaxDegree()
 	for v := 0; v < n; v++ {
-		deg := g.Deg(v)
-		nbrIDs := make([]int64, deg)
-		for p := 0; p < deg; p++ {
-			nbrIDs[p] = cfg.IDs[g.Neighbor(v, p)]
+		lo, hi := ex.arcOff[v], ex.arcOff[v+1]
+		nbr := ex.nbrIDs[lo:hi:hi]
+		for p, u := range g.Neighbors(v) {
+			nbr[p] = cfg.IDs[u]
 		}
-		view := NodeView{
+		ex.pcgs[v] = *rand.NewPCG(cfg.Seed, uint64(v)*0x9E3779B97F4A7C15+0xD1B54A32D192ED03)
+		ex.rngs[v] = *rand.New(&ex.pcgs[v])
+		ex.views[v] = NodeView{
 			ID:          cfg.IDs[v],
-			Degree:      deg,
-			NeighborIDs: nbrIDs,
+			Degree:      int(hi - lo),
+			NeighborIDs: nbr,
 			N:           n,
-			MaxDegree:   g.MaxDegree(),
-			Rand:        rand.New(rand.NewPCG(cfg.Seed, uint64(v)*0x9E3779B97F4A7C15+0xD1B54A32D192ED03)),
+			MaxDegree:   maxDeg,
+			Rand:        &ex.rngs[v],
 		}
-		ex.ctxs[v] = &Context{
-			view:      &view,
-			outbox:    make([]Message, deg),
+		ex.ctxs[v] = Context{
+			view:      &ex.views[v],
+			outbox:    ex.outbox[lo:hi:hi],
 			nodeRound: -1,
-			edgeOut:   make([]Message, deg),
-			edgeSet:   make([]bool, deg),
-			edgeRound: make([]int32, deg),
+			edgeOut:   ex.edgeOut[lo:hi:hi],
+			edgeSet:   ex.edgeSet[lo:hi:hi],
+			edgeRound: ex.edgeRound[lo:hi:hi],
 		}
+		ex.halted[v] = false
 		ex.haltAt[v] = -1
-		ex.progs[v] = alg.Node(view)
+		ex.active[v] = int32(v)
+		ex.progs[v] = alg.Node(ex.views[v])
 	}
-	return ex
+	ex.live = n
 }
 
 // step runs node v for the given round against the current inbox and
-// scatters its outbox. It is safe to call concurrently for distinct v.
+// scatters its outbox. The inbox is cleared after delivery, which keeps the
+// double buffer clean without a full O(m) sweep per round: a slot is
+// non-nil only while it carries an undelivered message for a live node.
+// step is safe to call concurrently for distinct v.
 func (ex *execution) step(v int, round int32) {
-	ctx := ex.ctxs[v]
+	ctx := &ex.ctxs[v]
 	ctx.round = round
 	inbox := ex.cur[ex.arcOff[v]:ex.arcOff[v+1]]
 	ex.progs[v].Round(ctx, inbox)
+	clear(inbox)
 	base := ex.arcOff[v]
 	for p, m := range ctx.outbox {
 		if m != nil {
@@ -104,7 +168,8 @@ func (ex *execution) step(v int, round int32) {
 }
 
 // sweepHalts marks nodes that halted during this round and reports whether
-// any node remains live.
+// any node remains live. Used by the concurrent executor; the frontier
+// executor compacts its worklist instead.
 func (ex *execution) sweepHalts(round int32) bool {
 	for v := 0; v < ex.g.N(); v++ {
 		if !ex.halted[v] && ex.ctxs[v].halted {
@@ -116,13 +181,11 @@ func (ex *execution) sweepHalts(round int32) bool {
 	return ex.live > 0
 }
 
-// flip swaps the message buffers and clears the stale one. Messages
-// addressed to halted nodes are dropped.
+// flip swaps the message buffers. Stale slots need no sweep: step clears
+// each inbox on delivery, and slots addressed to halted nodes are never
+// read again.
 func (ex *execution) flip() {
 	ex.cur, ex.next = ex.next, ex.cur
-	for i := range ex.next {
-		ex.next[i] = nil
-	}
 }
 
 // stopPrograms unwinds any program goroutines still alive (blocking-style
@@ -135,17 +198,30 @@ func (ex *execution) stopPrograms() {
 	}
 }
 
-func (ex *execution) runSequential() (*Result, error) {
+// runFrontier is the sequential executor. Per-round cost is proportional to
+// the active frontier, not to n: each round steps exactly the live nodes
+// and compacts the worklist in place (stably, preserving increasing node
+// order) as nodes halt. This is what makes simulation wall-clock track the
+// node-averaged structure of the paper — when most nodes finish in O(1)
+// rounds, most of the simulation's work is over after O(1) rounds too.
+func (ex *execution) runFrontier() (*Result, error) {
 	defer ex.stopPrograms()
 	round := int32(0)
 	for {
-		for v := 0; v < ex.g.N(); v++ {
-			if !ex.halted[v] {
-				ex.step(v, round)
+		w := 0
+		for _, v := range ex.active {
+			ex.step(int(v), round)
+			if ex.ctxs[v].halted {
+				ex.halted[v] = true
+				ex.haltAt[v] = round
+				ex.live--
+			} else {
+				ex.active[w] = v
+				w++
 			}
 		}
-		anyLive := ex.sweepHalts(round)
-		if !anyLive {
+		ex.active = ex.active[:w]
+		if w == 0 {
 			return ex.collect(int(round))
 		}
 		if int(round) >= ex.maxRounds {
@@ -209,14 +285,16 @@ func (ex *execution) runConcurrent() (*Result, error) {
 	}
 }
 
-// collect merges the per-node ledgers into a Result.
+// collect merges the per-node ledgers into a Result. Every slice placed in
+// the Result is freshly allocated: the execution's arenas are reused by the
+// next reset, so nothing in a Result may alias them.
 func (ex *execution) collect(rounds int) (*Result, error) {
 	n, m := ex.g.N(), ex.g.M()
 	res := &Result{
 		Rounds:     rounds,
 		NodeCommit: make([]int32, n),
 		EdgeCommit: make([]int32, m),
-		NodeHalt:   ex.haltAt,
+		NodeHalt:   append([]int32(nil), ex.haltAt...),
 		NodeOut:    make([]any, n),
 		EdgeOut:    make([]any, m),
 	}
@@ -225,7 +303,7 @@ func (ex *execution) collect(rounds int) (*Result, error) {
 	}
 	var errs []error
 	for v := 0; v < n; v++ {
-		ctx := ex.ctxs[v]
+		ctx := &ex.ctxs[v]
 		errs = append(errs, ctx.commitErrs...)
 		res.NodeCommit[v] = ctx.nodeRound
 		res.NodeOut[v] = ctx.nodeOut

@@ -1,0 +1,252 @@
+package runtime
+
+// An independent reference executor, kept deliberately naive (per-node
+// inbox slices, full O(n) scans per round, no arenas, no frontier), used as
+// the semantic oracle for the frontier engine: the optimized executor must
+// match it field-for-field on every Result.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"avgloc/internal/graph"
+)
+
+// referenceRun replicates the seed engine's semantics with none of the
+// frontier/arena machinery.
+func referenceRun(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
+	n := g.N()
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(n)
+	}
+	ctxs := make([]*Context, n)
+	progs := make([]Program, n)
+	halted := make([]bool, n)
+	haltAt := make([]int32, n)
+	cur := make([][]Message, n)
+	next := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		deg := g.Deg(v)
+		nbrIDs := make([]int64, deg)
+		for p := 0; p < deg; p++ {
+			nbrIDs[p] = cfg.IDs[g.Neighbor(v, p)]
+		}
+		view := NodeView{
+			ID:          cfg.IDs[v],
+			Degree:      deg,
+			NeighborIDs: nbrIDs,
+			N:           n,
+			MaxDegree:   g.MaxDegree(),
+			Rand:        rand.New(rand.NewPCG(cfg.Seed, uint64(v)*0x9E3779B97F4A7C15+0xD1B54A32D192ED03)),
+		}
+		ctxs[v] = &Context{
+			view:      &view,
+			outbox:    make([]Message, deg),
+			nodeRound: -1,
+			edgeOut:   make([]Message, deg),
+			edgeSet:   make([]bool, deg),
+			edgeRound: make([]int32, deg),
+		}
+		haltAt[v] = -1
+		progs[v] = alg.Node(view)
+		cur[v] = make([]Message, deg)
+		next[v] = make([]Message, deg)
+	}
+	live := n
+	round := int32(0)
+	for {
+		for v := 0; v < n; v++ {
+			if halted[v] {
+				continue
+			}
+			ctx := ctxs[v]
+			ctx.round = round
+			progs[v].Round(ctx, cur[v])
+			for p, m := range ctx.outbox {
+				if m != nil {
+					next[g.Neighbor(v, p)][g.TwinPort(v, p)] = m
+					ctx.outbox[p] = nil
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !halted[v] && ctxs[v].halted {
+				halted[v] = true
+				haltAt[v] = round
+				live--
+			}
+		}
+		if live == 0 {
+			break
+		}
+		if int(round) >= maxRounds {
+			return nil, fmt.Errorf("%w: reference", ErrRoundLimit)
+		}
+		cur, next = next, cur
+		for v := range next {
+			for p := range next[v] {
+				next[v][p] = nil
+			}
+		}
+		round++
+	}
+
+	m := g.M()
+	res := &Result{
+		Rounds:     int(round),
+		NodeCommit: make([]int32, n),
+		EdgeCommit: make([]int32, m),
+		NodeHalt:   haltAt,
+		NodeOut:    make([]any, n),
+		EdgeOut:    make([]any, m),
+	}
+	for e := 0; e < m; e++ {
+		res.EdgeCommit[e] = -1
+	}
+	for v := 0; v < n; v++ {
+		ctx := ctxs[v]
+		if len(ctx.commitErrs) > 0 {
+			return nil, ctx.commitErrs[0]
+		}
+		res.NodeCommit[v] = ctx.nodeRound
+		res.NodeOut[v] = ctx.nodeOut
+		res.Messages += ctx.sent
+		for p := 0; p < g.Deg(v); p++ {
+			if !ctx.edgeSet[p] {
+				continue
+			}
+			e := g.EdgeID(v, p)
+			if res.EdgeCommit[e] < 0 {
+				res.EdgeCommit[e] = ctx.edgeRound[p]
+				res.EdgeOut[e] = ctx.edgeOut[p]
+			} else if ctx.edgeRound[p] < res.EdgeCommit[e] {
+				res.EdgeCommit[e] = ctx.edgeRound[p]
+			}
+		}
+	}
+	return res, nil
+}
+
+type refProgFunc func(*Context, []Message)
+
+func (f refProgFunc) Round(ctx *Context, inbox []Message) { f(ctx, inbox) }
+
+type refAlgFunc struct {
+	name string
+	node func(view NodeView) refProgFunc
+}
+
+func (a refAlgFunc) Name() string               { return a.name }
+func (a refAlgFunc) Node(view NodeView) Program { return a.node(view) }
+
+// coinGossip is a randomized algorithm exercising every Context facility:
+// per-node PRNG, messages, node commits, edge commits (from both sides) and
+// staggered halts.
+func coinGossip() Algorithm {
+	return refAlgFunc{
+		name: "test/coin-gossip",
+		node: func(view NodeView) refProgFunc {
+			heads := 0
+			return func(ctx *Context, inbox []Message) {
+				for _, m := range inbox {
+					if m != nil {
+						heads += m.(int)
+					}
+				}
+				if view.Rand.Uint64()%4 == 0 || ctx.Round() > 20 {
+					if !ctx.HasCommitted() {
+						ctx.CommitNode(heads)
+					}
+					for p := 0; p < view.Degree; p++ {
+						lo := view.ID
+						if view.NeighborIDs[p] < lo {
+							lo = view.NeighborIDs[p]
+						}
+						ctx.CommitEdge(p, lo)
+					}
+					ctx.Halt()
+					return
+				}
+				ctx.Broadcast(int(view.Rand.Uint64() % 2))
+			}
+		},
+	}
+}
+
+func TestFrontierMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + int(rng.Uint64()%60)
+		g := graph.GNP(n, 0.12, rng)
+		idsAssign := make([]int64, n)
+		for i := range idsAssign {
+			idsAssign[i] = int64(i)
+		}
+		rng.Shuffle(n, func(i, j int) { idsAssign[i], idsAssign[j] = idsAssign[j], idsAssign[i] })
+		cfg := Config{IDs: idsAssign, Seed: rng.Uint64()}
+		want, err1 := referenceRun(g, coinGossip(), cfg)
+		got, err2 := Run(g, coinGossip(), cfg)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d: frontier result diverges from reference\nwant %+v\ngot  %+v", trial, want, got)
+		}
+	}
+}
+
+func TestEngineReuseMatchesFreshRuns(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	g := graph.GNP(50, 0.15, rng)
+	idsAssign := make([]int64, g.N())
+	for i := range idsAssign {
+		idsAssign[i] = int64(i)
+	}
+	eng := NewEngine(g)
+	for trial := 0; trial < 10; trial++ {
+		cfg := Config{IDs: idsAssign, Seed: uint64(1000 + trial)}
+		fresh, err1 := Run(g, coinGossip(), cfg)
+		reused, err2 := eng.Run(coinGossip(), cfg)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v / %v", trial, err1, err2)
+		}
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("trial %d: reused engine diverges from fresh engine", trial)
+		}
+	}
+}
+
+// TestEngineReuseAfterAbort checks that a round-limit abort leaves no stale
+// state behind for the next run on the same engine.
+func TestEngineReuseAfterAbort(t *testing.T) {
+	g := graph.Cycle(9)
+	idsAssign := make([]int64, g.N())
+	for i := range idsAssign {
+		idsAssign[i] = int64(i)
+	}
+	chatter := refAlgFunc{
+		name: "test/chatter",
+		node: func(view NodeView) refProgFunc {
+			return func(ctx *Context, _ []Message) { ctx.Broadcast(1) }
+		},
+	}
+	eng := NewEngine(g)
+	if _, err := eng.Run(chatter, Config{IDs: idsAssign, MaxRounds: 4}); err == nil {
+		t.Fatal("expected round-limit error")
+	}
+	cfg := Config{IDs: idsAssign, Seed: 5}
+	fresh, err1 := Run(g, coinGossip(), cfg)
+	reused, err2 := eng.Run(coinGossip(), cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("%v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatal("engine reuse after abort diverges from fresh engine")
+	}
+}
