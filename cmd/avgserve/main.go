@@ -1,0 +1,59 @@
+// Command avgserve is a long-running HTTP measurement service over the
+// scenario layer: it lists the graph/algorithm registry, runs declarative
+// scenario specs synchronously or as polled jobs, and serves cached reports.
+// Identical scenario submissions are answered from the result cache with
+// byte-identical JSON.
+//
+// Usage:
+//
+//	avgserve -addr :8080 -workers 4 -parallelism 2 -cache-size 1024 -cache-dir /var/cache/avgserve
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness + cache statistics
+//	GET  /v1/registry             graph families and algorithms, JSON
+//	POST /v1/run                  run a scenario spec synchronously
+//	POST /v1/jobs                 submit a scenario, returns a job id
+//	GET  /v1/jobs/{id}            poll job status
+//	GET  /v1/jobs/{id}/result     fetch a finished job's report
+//	GET  /v1/reports/{key}        fetch a cached report by scenario key
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/run -d '{"graph":"regular","params":{"n":1024,"d":6},"algorithm":"mis/luby","trials":5,"seed":1}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"avgloc/internal/resultstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avgserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "concurrent scenario executions")
+	parallelism := flag.Int("parallelism", 1, "core.Measure trial parallelism per scenario (bit-identical at any level)")
+	cacheSize := flag.Int("cache-size", 1024, "in-memory result cache entries")
+	cacheDir := flag.String("cache-dir", "", "optional directory for persistent result cache")
+	flag.Parse()
+
+	store, err := resultstore.New(*cacheSize, *cacheDir)
+	if err != nil {
+		return err
+	}
+	srv := newServer(store, *workers, *parallelism)
+	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q)",
+		*addr, *workers, *parallelism, *cacheSize, *cacheDir)
+	return http.ListenAndServe(*addr, srv)
+}

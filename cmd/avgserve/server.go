@@ -1,0 +1,355 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+
+	"avgloc/internal/registry"
+	"avgloc/internal/resultstore"
+	"avgloc/internal/scenario"
+)
+
+// jobStatus values.
+const (
+	statusQueued  = "queued"
+	statusRunning = "running"
+	statusDone    = "done"
+	statusError   = "error"
+)
+
+// job is one scenario execution request moving through the worker pool.
+// Sync requests wait on done; async requests poll by id.
+type job struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Key    string `json:"key,omitempty"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+
+	spec   *scenario.Spec
+	result []byte
+	done   chan struct{}
+}
+
+// server routes HTTP requests into a bounded worker pool over the scenario
+// layer, with the result store in front of every execution.
+type server struct {
+	mux    *http.ServeMux
+	store  *resultstore.Store
+	par    int // core.MeasureOptions.Parallelism per scenario run
+	queue  chan *job
+	retain int // finished jobs kept for polling before pruning
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string        // job ids in submission order, for pruning
+	inflight map[string]*job // cache key -> queued/running job, for dedup
+	nextID   int
+}
+
+// newServer starts `workers` pool goroutines and returns the ready server.
+// par is forwarded to core.MeasureOptions.Parallelism; because every trial
+// stream is counter-derived from the master seed, responses are
+// bit-identical at any (workers, par) combination.
+func newServer(store *resultstore.Store, workers, par int) *server {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &server{
+		mux:      http.NewServeMux(),
+		store:    store,
+		par:      par,
+		queue:    make(chan *job, 256),
+		retain:   4096,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+	for w := 0; w < workers; w++ {
+		go s.worker()
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) worker() {
+	for j := range s.queue {
+		s.execute(j)
+	}
+}
+
+// execute runs one job: scenario.Run, then a write-through Put. The stored
+// bytes are the response bytes, so repeat requests are served
+// bit-identically. A persistence failure degrades to a cache miss on the
+// next request; it never fails a computed result.
+func (s *server) execute(j *job) {
+	s.setStatus(j, statusRunning, "")
+	var data []byte
+	out, err := scenario.Run(j.spec, scenario.Options{Parallelism: s.par})
+	if err == nil {
+		data, err = out.MarshalStable()
+	}
+	if err == nil {
+		if perr := s.store.Put(j.Key, data); perr != nil {
+			log.Printf("avgserve: caching %s: %v", j.Key, perr)
+		}
+	}
+	s.mu.Lock()
+	if err != nil {
+		j.Status = statusError
+		j.Error = err.Error()
+	} else {
+		j.result = data
+		j.Status = statusDone
+	}
+	delete(s.inflight, j.Key)
+	s.mu.Unlock()
+	close(j.done)
+}
+
+func (s *server) setStatus(j *job, status, errMsg string) {
+	s.mu.Lock()
+	j.Status = status
+	j.Error = errMsg
+	s.mu.Unlock()
+}
+
+// newJobLocked registers a job and prunes the oldest finished jobs beyond
+// the retention bound, so a long-running server's job index stays bounded.
+// Caller holds s.mu.
+func (s *server) newJobLocked(key string, spec *scenario.Spec) *job {
+	s.nextID++
+	j := &job{
+		ID:     fmt.Sprintf("job-%d", s.nextID),
+		Status: statusQueued,
+		Key:    key,
+		spec:   spec,
+		done:   make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.jobs) > s.retain && len(s.order) > 0 {
+		oldest := s.jobs[s.order[0]]
+		if oldest != nil && oldest.Status != statusDone && oldest.Status != statusError {
+			break // still queued/running; active jobs are bounded by the queue
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+	return j
+}
+
+// submit validates the spec, computes its cache key and either completes
+// the job from the store (Cached), joins an identical in-flight job, or
+// enqueues a new execution.
+func (s *server) submit(spec *scenario.Spec) (*job, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	key, err := norm.Key()
+	if err != nil {
+		return nil, err
+	}
+	if data, ok := s.store.Get(key); ok {
+		s.mu.Lock()
+		j := s.newJobLocked(key, norm)
+		j.result = data
+		j.Status = statusDone
+		j.Cached = true
+		s.mu.Unlock()
+		close(j.done)
+		return j, nil
+	}
+	s.mu.Lock()
+	// Identical scenario already queued or running: share it instead of
+	// simulating the same deterministic result twice.
+	if cur, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		return cur, nil
+	}
+	j := s.newJobLocked(key, norm)
+	// Enqueue while still holding the lock (the send never blocks): the job
+	// becomes visible through inflight only once it is guaranteed to run, so
+	// a concurrent identical request can never join a job whose done channel
+	// would never close.
+	select {
+	case s.queue <- j:
+		s.inflight[key] = j
+		s.mu.Unlock()
+	default:
+		delete(s.jobs, j.ID) // the stale order entry is skipped by pruning
+		s.mu.Unlock()
+		return nil, errQueueFull
+	}
+	return j, nil
+}
+
+// errQueueFull is transient overload, reported as 503 (retryable) rather
+// than 400 (permanent).
+var errQueueFull = errors.New("avgserve: job queue full, retry later")
+
+// submitStatus maps a submit error to its HTTP status.
+func submitStatus(err error) int {
+	if errors.Is(err, errQueueFull) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) *scenario.Spec {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return nil
+	}
+	var spec scenario.Spec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	// Unknown fields are rejected: silently dropping a misspelled "trials"
+	// would run (and cache) a different scenario than the client asked for.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing scenario: %w", err))
+		return nil
+	}
+	return &spec
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "store": s.store.Stats()})
+}
+
+// handleRegistry lists every graph family and algorithm entry.
+func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graphs":     registry.Graphs(),
+		"algorithms": registry.Algorithms(),
+	})
+}
+
+// handleRun executes a scenario synchronously. The response body comes from
+// the result store, so a repeat request returns byte-identical JSON; the
+// X-Avgserve-Cache header says whether this request hit the cache.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	spec := s.decodeSpec(w, r)
+	if spec == nil {
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	<-j.done
+	s.mu.Lock()
+	result, errMsg, cached := j.result, j.Error, j.Cached
+	s.mu.Unlock()
+	if errMsg != "" {
+		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("%s", errMsg))
+		return
+	}
+	cache := "miss"
+	if cached {
+		cache = "hit"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Avgserve-Cache", cache)
+	w.Header().Set("X-Avgserve-Key", j.Key)
+	w.WriteHeader(http.StatusOK)
+	w.Write(result)
+}
+
+// handleSubmit enqueues a scenario and returns the job id immediately.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec := s.decodeSpec(w, r)
+	if spec == nil {
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	s.mu.Lock()
+	snapshot := *j
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, snapshot)
+}
+
+func (s *server) lookupJob(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return nil
+	}
+	return j
+}
+
+// handleJob reports a job's status for polling.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	snapshot := *j
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snapshot)
+}
+
+// handleJobResult serves a finished job's report bytes (404 until done).
+func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	status, result, errMsg := j.Status, j.result, j.Error
+	s.mu.Unlock()
+	switch status {
+	case statusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(result)
+	case statusError:
+		httpError(w, http.StatusUnprocessableEntity, fmt.Errorf("%s", errMsg))
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("job %s is %s", j.ID, status))
+	}
+}
+
+// handleReport serves a cached report by its (hash, seed) key.
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.store.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no cached report for key %q", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

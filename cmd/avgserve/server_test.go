@@ -1,0 +1,308 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"avgloc/internal/resultstore"
+)
+
+func newTestServer(t *testing.T, dir string) *httptest.Server {
+	t.Helper()
+	store, err := resultstore.New(64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(store, 2, 2))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+const specJSON = `{"graph":"regular","params":{"n":48,"d":4},"algorithm":"mis/luby","trials":2,"seed":5}`
+
+func TestRegistryEndpoint(t *testing.T) {
+	ts := newTestServer(t, "")
+	resp, body := get(t, ts.URL+"/v1/registry")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var reg struct {
+		Graphs []struct {
+			Name string `json:"name"`
+		} `json:"graphs"`
+		Algorithms []struct {
+			Name string `json:"name"`
+		} `json:"algorithms"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, g := range reg.Graphs {
+		names[g.Name] = true
+	}
+	for _, want := range []string{"ba", "caterpillar", "regular", "cycle", "gnp"} {
+		if !names[want] {
+			t.Errorf("registry missing graph family %q", want)
+		}
+	}
+	if len(reg.Algorithms) < 12 {
+		t.Fatalf("registry lists %d algorithms, want >= 12", len(reg.Algorithms))
+	}
+}
+
+// TestRunCacheBitIdentical is the acceptance check: a second identical
+// request is a cache hit and returns a byte-identical report.
+func TestRunCacheBitIdentical(t *testing.T) {
+	ts := newTestServer(t, "")
+	r1, b1 := post(t, ts.URL+"/v1/run", specJSON)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", r1.StatusCode, b1)
+	}
+	if c := r1.Header.Get("X-Avgserve-Cache"); c != "miss" {
+		t.Fatalf("first run cache header = %q, want miss", c)
+	}
+	r2, b2 := post(t, ts.URL+"/v1/run", specJSON)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second run: status %d: %s", r2.StatusCode, b2)
+	}
+	if c := r2.Header.Get("X-Avgserve-Cache"); c != "hit" {
+		t.Fatalf("second run cache header = %q, want hit", c)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("cache hit is not byte-identical:\n%s\nvs\n%s", b1, b2)
+	}
+
+	// A reordered-field rendering of the same scenario also hits.
+	reordered := `{"seed":5,"algorithm":"mis/luby","trials":2,"graph":"regular","params":{"d":4,"n":48}}`
+	r3, b3 := post(t, ts.URL+"/v1/run", reordered)
+	if r3.StatusCode != http.StatusOK || r3.Header.Get("X-Avgserve-Cache") != "hit" {
+		t.Fatalf("reordered spec missed the cache (status %d, %q)", r3.StatusCode, r3.Header.Get("X-Avgserve-Cache"))
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("reordered spec returned different bytes")
+	}
+
+	// The report is also addressable by its key.
+	key := r1.Header.Get("X-Avgserve-Key")
+	if key == "" {
+		t.Fatal("no X-Avgserve-Key header")
+	}
+	r4, b4 := get(t, ts.URL+"/v1/reports/"+key)
+	if r4.StatusCode != http.StatusOK || !bytes.Equal(b1, b4) {
+		t.Fatalf("report fetch by key failed: status %d", r4.StatusCode)
+	}
+}
+
+func TestRunReportsContent(t *testing.T) {
+	ts := newTestServer(t, "")
+	_, body := post(t, ts.URL+"/v1/run", specJSON)
+	var out struct {
+		Hash string `json:"hash"`
+		Rows []struct {
+			Report struct {
+				Trials  int     `json:"Trials"`
+				NodeAvg float64 `json:"NodeAvg"`
+			} `json:"report"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if out.Hash == "" || len(out.Rows) != 1 {
+		t.Fatalf("implausible outcome: %s", body)
+	}
+	if out.Rows[0].Report.Trials != 2 || out.Rows[0].Report.NodeAvg <= 0 {
+		t.Fatalf("implausible report: %s", body)
+	}
+}
+
+func TestAsyncJobLifecycle(t *testing.T) {
+	ts := newTestServer(t, "")
+	resp, body := post(t, ts.URL+"/v1/jobs", specJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var j struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = get(t, ts.URL+"/v1/jobs/"+j.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.Status == "done" {
+			break
+		}
+		if j.Status == "error" || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, result := get(t, ts.URL+"/v1/jobs/"+j.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %s", resp.StatusCode, result)
+	}
+	// The async result equals the sync (cached) bytes for the same spec.
+	_, syncBody := post(t, ts.URL+"/v1/run", specJSON)
+	if !bytes.Equal(result, syncBody) {
+		t.Fatal("async and sync results differ for the same scenario")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t, "")
+	resp, body := post(t, ts.URL+"/v1/run", `{"graph":"nope","algorithm":"mis/luby"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown family: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "caterpillar") {
+		t.Fatalf("error does not list available families: %s", body)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/run", `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON accepted: %d", resp.StatusCode)
+	}
+	// A misspelled field must not silently run a different scenario.
+	typo := `{"graph":"cycle","params":{"n":8},"algorithm":"mis/luby","trails":500,"seed":1}`
+	if resp, body := post(t, ts.URL+"/v1/run", typo); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field accepted: %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/reports/deadbeef-s1"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown report: status %d", resp.StatusCode)
+	}
+}
+
+// TestJobPruning bounds the job index: finished jobs beyond the retention
+// cap are forgotten while the newest stay pollable.
+func TestJobPruning(t *testing.T) {
+	store, err := resultstore.New(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(store, 1, 1)
+	srv.retain = 3
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// First run computes; the rest are cache hits, each registering a job.
+	var first string
+	for i := 0; i < 8; i++ {
+		resp, body := post(t, ts.URL+"/v1/jobs", specJSON)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var j struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = j.ID
+			// Wait for the computing job so later submissions are hits.
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				_, b := get(t, ts.URL+"/v1/jobs/"+j.ID)
+				if strings.Contains(string(b), `"done"`) {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("first job never finished: %s", b)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+	srv.mu.Lock()
+	kept := len(srv.jobs)
+	srv.mu.Unlock()
+	if kept > 3 {
+		t.Fatalf("job index holds %d entries, want <= retain=3", kept)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/jobs/"+first); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pruned job still served: status %d", resp.StatusCode)
+	}
+}
+
+// TestOversizedScenarioRejected: graph families carry size caps so one
+// request cannot allocate unbounded memory.
+func TestOversizedScenarioRejected(t *testing.T) {
+	ts := newTestServer(t, "")
+	huge := `{"graph":"regular","params":{"n":1000000000,"d":4},"algorithm":"mis/luby","seed":1}`
+	resp, body := post(t, ts.URL+"/v1/run", huge)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized scenario: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "maximum") {
+		t.Fatalf("error should mention the maximum: %s", body)
+	}
+}
+
+// TestPersistentCacheAcrossRestart runs a scenario, restarts the server on
+// the same cache directory, and checks the fresh server serves the same
+// bytes as a hit.
+func TestPersistentCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts1 := newTestServer(t, dir)
+	r1, b1 := post(t, ts1.URL+"/v1/run", specJSON)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", r1.StatusCode, b1)
+	}
+	ts1.Close()
+
+	ts2 := newTestServer(t, dir)
+	r2, b2 := post(t, ts2.URL+"/v1/run", specJSON)
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", r2.StatusCode, b2)
+	}
+	if c := r2.Header.Get("X-Avgserve-Cache"); c != "hit" {
+		t.Fatalf("restarted server cache header = %q, want hit", c)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("restarted server served different bytes")
+	}
+}

@@ -1,11 +1,17 @@
 // Command localsim runs one algorithm on one generated graph and prints
-// every complexity measure of Definition 1 and Appendix A.
+// every complexity measure of Definition 1 and Appendix A. Graphs and
+// algorithms are resolved by name through internal/registry, so everything
+// the library knows is reachable without editing this file.
 //
 // Usage:
 //
-//	localsim -graph regular -n 1024 -d 6 -alg mis/luby -trials 5
-//	localsim -graph cycle -n 4096 -alg mis/det-coloring
-//	localsim -graph regular -n 8192 -d 3 -alg orient/det-averaged
+//	localsim -graph regular -params n=1024,d=6 -alg mis/luby -trials 5
+//	localsim -graph caterpillar -params n=4096,spine=512 -alg mis/det-coloring
+//	localsim -graph ba -params n=8192,m=3 -alg matching/randluby
+//	localsim -list
+//
+// The legacy -n and -d flags still work for families that declare those
+// parameters; -params wins where both are given.
 package main
 
 import (
@@ -13,13 +19,11 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strconv"
+	"strings"
 
-	"avgloc/internal/alg/coloring"
-	"avgloc/internal/alg/matching"
-	"avgloc/internal/alg/mis"
-	"avgloc/internal/alg/ruling"
 	"avgloc/internal/core"
-	"avgloc/internal/graph"
+	"avgloc/internal/registry"
 )
 
 func main() {
@@ -29,69 +33,114 @@ func main() {
 	}
 }
 
+// parseParams turns "n=1024,d=6" into registry values.
+func parseParams(s string) (registry.Values, error) {
+	v := registry.Values{}
+	if s == "" {
+		return v, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("parameter %q is not key=value", kv)
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", kv, err)
+		}
+		v[key] = x
+	}
+	return v, nil
+}
+
+// listRegistry prints every graph family (with its parameters) and every
+// algorithm entry.
+func listRegistry() {
+	fmt.Println("graph families:")
+	for _, f := range registry.Graphs() {
+		var ps []string
+		for _, p := range f.Params {
+			ps = append(ps, fmt.Sprintf("%s=%g", p.Name, p.Default))
+		}
+		fmt.Printf("  %-20s %s (defaults: %s)\n", f.Name, f.Doc, strings.Join(ps, ","))
+	}
+	fmt.Println("algorithms:")
+	for _, a := range registry.Algorithms() {
+		fmt.Printf("  %-22s %s [problem %s]\n", a.Name, a.Doc, a.Problem)
+	}
+}
+
 func run() error {
-	graphKind := flag.String("graph", "regular", "cycle|path|grid|regular|gnp|torus|hypercube")
-	n := flag.Int("n", 1024, "number of nodes (grid/torus: side length; hypercube: dimension)")
-	d := flag.Int("d", 6, "degree (regular) or edge probability ×1000 (gnp)")
-	algName := flag.String("alg", "mis/luby", "algorithm (see -list)")
-	list := flag.Bool("list", false, "list algorithms and exit")
+	graphName := flag.String("graph", "regular", "graph family name (see -list)")
+	paramsFlag := flag.String("params", "", "graph parameters, e.g. n=1024,d=6")
+	n := flag.Int("n", 1024, "legacy shorthand for the n parameter")
+	d := flag.Int("d", 6, "legacy shorthand for the d parameter")
+	algName := flag.String("alg", "mis/luby", "algorithm name (see -list)")
+	list := flag.Bool("list", false, "list registry entries and exit")
 	trials := flag.Int("trials", 3, "independent trials")
 	seed := flag.Uint64("seed", 1, "master seed")
+	parallel := flag.Int("parallel", 1, "trial parallelism (reports are bit-identical at any level)")
 	flag.Parse()
 
-	detAvg, detWorst, randMark := core.SinklessRunners()
-	algs := map[string]struct {
-		runner  core.Runner
-		problem core.Problem
-	}{
-		"mis/luby":         {core.MessagePassing(mis.Luby{}), core.MIS},
-		"mis/ghaffari":     {core.MessagePassing(mis.Ghaffari{}), core.MIS},
-		"mis/det-coloring": {core.MessagePassing(mis.Det{}), core.MIS},
-		"ruling/rand22":    {core.MessagePassing(ruling.Rand22{}), core.RulingSet(2)},
-		"ruling/det-logdelta": {
-			core.MessagePassing(ruling.Det{Variant: ruling.LogDelta}), core.RulingSet(64),
-		},
-		"matching/randluby":    {core.MessagePassing(matching.RandLuby{}), core.MaximalMatching},
-		"matching/israeliitai": {core.MessagePassing(matching.IsraeliItai{}), core.MaximalMatching},
-		"matching/det":         {core.DetMatchingRunner(), core.MaximalMatching},
-		"coloring/randgreedy":  {core.MessagePassing(coloring.RandGreedy{}), core.Coloring(1 << 30)},
-		"orient/det-averaged":  {detAvg, core.SinklessOrientation},
-		"orient/det-worstcase": {detWorst, core.SinklessOrientation},
-		"orient/rand-marking":  {randMark, core.SinklessOrientation},
-	}
 	if *list {
-		for name := range algs {
-			fmt.Println(name)
-		}
+		listRegistry()
 		return nil
 	}
-	entry, ok := algs[*algName]
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q (use -list)", *algName)
+
+	fam, err := registry.FindGraph(*graphName)
+	if err != nil {
+		return err // the registry error lists every available family
+	}
+	entry, err := registry.FindAlgorithm(*algName)
+	if err != nil {
+		return err // the registry error lists every available algorithm
+	}
+
+	params, err := parseParams(*paramsFlag)
+	if err != nil {
+		return err
+	}
+	// Legacy -n/-d conveniences: applied only when the flag was explicitly
+	// given (otherwise the family's registry defaults stand), and rejected
+	// loudly when the family has no parameter of that name — silently
+	// building a different graph than requested would be worse.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	famHas := func(name string) bool {
+		for _, p := range fam.Params {
+			if p.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	for flagName, val := range map[string]float64{"n": float64(*n), "d": float64(*d)} {
+		if !explicit[flagName] {
+			continue
+		}
+		if !famHas(flagName) {
+			var ps []string
+			for _, p := range fam.Params {
+				ps = append(ps, p.Name)
+			}
+			return fmt.Errorf("graph family %q has no parameter %q; use -params (parameters: %s)",
+				fam.Name, flagName, strings.Join(ps, ", "))
+		}
+		if _, ok := params[flagName]; !ok {
+			params[flagName] = val
+		}
 	}
 
 	rng := rand.New(rand.NewPCG(*seed, 99))
-	var g *graph.Graph
-	switch *graphKind {
-	case "cycle":
-		g = graph.Cycle(*n)
-	case "path":
-		g = graph.Path(*n)
-	case "grid":
-		g = graph.Grid(*n, *n)
-	case "torus":
-		g = graph.Torus(*n, *n)
-	case "hypercube":
-		g = graph.Hypercube(*n)
-	case "regular":
-		g = graph.RandomRegular(*n, *d, rng)
-	case "gnp":
-		g = graph.GNP(*n, float64(*d)/1000, rng)
-	default:
-		return fmt.Errorf("unknown graph kind %q", *graphKind)
+	g, err := fam.Build(params, rng)
+	if err != nil {
+		return err
 	}
 
-	rep, err := core.Measure(g, entry.problem, entry.runner, core.MeasureOptions{Trials: *trials, Seed: *seed})
+	runner, problem := entry.New()
+	rep, err := core.Measure(g, problem, runner, core.MeasureOptions{
+		Trials: *trials, Seed: *seed, Parallelism: *parallel,
+	})
 	if err != nil {
 		return err
 	}

@@ -8,9 +8,14 @@
 //
 // Entry points:
 //
-//	internal/core     — problems, runners, measurement
-//	internal/harness  — the experiments; also run via cmd/avgbench
-//	examples/         — runnable walkthroughs
+//	internal/core        — problems, runners, measurement
+//	internal/registry    — named graph families and algorithms (data-driven workload selection)
+//	internal/scenario    — declarative JSON scenario specs with canonical content hashes
+//	internal/resultstore — LRU result cache (optional disk persistence) keyed by (hash, seed)
+//	internal/harness     — the experiments; also run via cmd/avgbench
+//	cmd/avgserve         — HTTP measurement service over the scenario layer
+//	cmd/localsim         — one scenario from the command line, registry-driven
+//	examples/            — runnable walkthroughs
 //
 // # Executors
 //
@@ -35,4 +40,17 @@
 // bit-identical at every parallelism level. Run
 // `avgbench -json BENCH_results.json` to regenerate the performance
 // trajectory file.
+//
+// # Scenario service
+//
+// internal/registry names every graph family (all generators, including
+// Barabási–Albert and random caterpillar trees) and every algorithm, so
+// workloads are selected by data instead of by Go code; cmd/localsim and
+// the harness resolve their runners through it. internal/scenario turns a
+// JSON spec — graph + params, algorithm, trials, seed, optional sweep —
+// into measured reports, with a canonical content hash that ignores field
+// ordering and labels. cmd/avgserve serves that layer over HTTP behind a
+// bounded worker pool, caching each outcome's exact byte rendering in
+// internal/resultstore under (hash, seed): identical submissions are
+// answered from the cache bit-identically, at any worker count.
 package avgloc

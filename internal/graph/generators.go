@@ -256,6 +256,67 @@ func RandomBipartiteRegular(n, d int, rng *rand.Rand) *Graph {
 	}
 }
 
+// BarabasiAlbert returns a preferential-attachment graph on n nodes: the
+// first m+1 nodes form a path, and every later node attaches m edges to
+// distinct existing nodes chosen with probability proportional to degree
+// (the classic rich-get-richer model; heavy-tailed degree workload for the
+// averaged measures). Requires 1 <= m < n.
+func BarabasiAlbert(n, m int, rng *rand.Rand) *Graph {
+	if m < 1 || m >= n {
+		panic(fmt.Sprintf("graph: barabasi-albert needs 1 <= m < n, got n=%d m=%d", n, m))
+	}
+	b := NewBuilder(n)
+	// targets holds one entry per edge endpoint, so a uniform draw from it
+	// is a degree-proportional draw over nodes.
+	targets := make([]int32, 0, 2*m*n)
+	for v := 1; v <= m; v++ {
+		b.AddEdge(v-1, v)
+		targets = append(targets, int32(v-1), int32(v))
+	}
+	picked := make([]int32, 0, m)
+	for v := m + 1; v < n; v++ {
+		picked = picked[:0]
+		for len(picked) < m {
+			t := targets[rng.IntN(len(targets))]
+			dup := false
+			for _, p := range picked {
+				if p == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, t)
+			}
+		}
+		// Attach in draw order so equal seeds give identical edge ids.
+		for _, t := range picked {
+			b.AddEdge(v, int(t))
+			targets = append(targets, int32(v), t)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomCaterpillar returns a random caterpillar tree on n nodes: a spine
+// path on the first `spine` nodes with the remaining n-spine nodes attached
+// as legs to uniformly random spine nodes. Caterpillars are the tree
+// workload of the node-averaged-on-trees follow-up work (arXiv:2308.04251).
+// Requires 1 <= spine <= n.
+func RandomCaterpillar(n, spine int, rng *rand.Rand) *Graph {
+	if n < 1 || spine < 1 || spine > n {
+		panic(fmt.Sprintf("graph: caterpillar needs 1 <= spine <= n, got n=%d spine=%d", n, spine))
+	}
+	b := NewBuilder(n)
+	for v := 1; v < spine; v++ {
+		b.AddEdge(v-1, v)
+	}
+	for v := spine; v < n; v++ {
+		b.AddEdge(v, rng.IntN(spine))
+	}
+	return b.MustBuild()
+}
+
 // Disjoint returns the disjoint union of gs, relabelling nodes in order.
 // The second return value gives the node-index offset of each input graph.
 func Disjoint(gs ...*Graph) (*Graph, []int) {

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func edgeSet(t *testing.T, g *Graph) map[[2]int]bool {
+	t.Helper()
+	set := make(map[[2]int]bool, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		set[[2]int{u, v}] = true
+	}
+	return set
+}
+
+func TestBarabasiAlbertStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n, m := 300, 3
+	g := BarabasiAlbert(n, m, rng)
+	if g.N() != n {
+		t.Fatalf("n = %d, want %d", g.N(), n)
+	}
+	wantM := m + (n-m-1)*m // seed path + m edges per later node
+	if g.M() != wantM {
+		t.Fatalf("m = %d, want %d", g.M(), wantM)
+	}
+	if len(edgeSet(t, g)) != g.M() {
+		t.Fatalf("parallel edges present")
+	}
+	if _, comps := g.Components(); comps != 1 {
+		t.Fatalf("graph has %d components, want 1", comps)
+	}
+	if g.MinDegree() < m {
+		t.Fatalf("min degree %d < m=%d", g.MinDegree(), m)
+	}
+	// Preferential attachment should produce a hub far above the minimum
+	// degree; a uniform-attachment tree of this size almost surely wouldn't.
+	if g.MaxDegree() < 4*m {
+		t.Fatalf("max degree %d suspiciously small for preferential attachment", g.MaxDegree())
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(200, 2, rand.New(rand.NewPCG(7, 9)))
+	b := BarabasiAlbert(200, 2, rand.New(rand.NewPCG(7, 9)))
+	if a.M() != b.M() {
+		t.Fatalf("edge counts differ: %d vs %d", a.M(), b.M())
+	}
+	for e := 0; e < a.M(); e++ {
+		au, av := a.Endpoints(e)
+		bu, bv := b.Endpoints(e)
+		if au != bu || av != bv {
+			t.Fatalf("edge %d differs: (%d,%d) vs (%d,%d)", e, au, av, bu, bv)
+		}
+	}
+}
+
+func TestRandomCaterpillarStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	n, spine := 257, 64
+	g := RandomCaterpillar(n, spine, rng)
+	if g.N() != n || g.M() != n-1 {
+		t.Fatalf("got n=%d m=%d, want tree with n=%d m=%d", g.N(), g.M(), n, n-1)
+	}
+	if _, comps := g.Components(); comps != 1 {
+		t.Fatalf("caterpillar has %d components, want 1 (a tree)", comps)
+	}
+	// Every non-spine node is a leg: degree exactly 1, attached to the spine.
+	for v := spine; v < n; v++ {
+		if g.Deg(v) != 1 {
+			t.Fatalf("leg node %d has degree %d, want 1", v, g.Deg(v))
+		}
+		if nb := int(g.Neighbors(v)[0]); nb >= spine {
+			t.Fatalf("leg node %d attached to non-spine node %d", v, nb)
+		}
+	}
+}
+
+func TestRandomCaterpillarEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	if g := RandomCaterpillar(1, 1, rng); g.N() != 1 || g.M() != 0 {
+		t.Fatalf("single node caterpillar wrong: n=%d m=%d", g.N(), g.M())
+	}
+	// spine == n degenerates to a path.
+	g := RandomCaterpillar(10, 10, rng)
+	if g.M() != 9 || g.MaxDegree() != 2 {
+		t.Fatalf("spine-only caterpillar is not a path: m=%d Δ=%d", g.M(), g.MaxDegree())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"avgloc/internal/lb/kmwmatch"
 	"avgloc/internal/lb/lift"
 	"avgloc/internal/measure"
+	"avgloc/internal/registry"
 	"avgloc/internal/runtime"
 )
 
@@ -237,7 +238,34 @@ func Run(id string, opt Options) (*Table, error) {
 func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
 
-func regular(n, d int, rng *rand.Rand) *graph.Graph { return graph.RandomRegular(n, d, rng) }
+// mustAlg resolves an algorithm entry from internal/registry: the harness
+// selects its runners by name, as one client of the same catalogue behind
+// cmd/localsim and cmd/avgserve. Names used here are compile-time
+// constants, so a lookup failure is a programming error.
+func mustAlg(name string) (core.Runner, core.Problem) {
+	e, err := registry.FindAlgorithm(name)
+	if err != nil {
+		panic(err)
+	}
+	return e.New()
+}
+
+// mustGraph builds a registered graph family by name.
+func mustGraph(name string, v registry.Values, rng *rand.Rand) *graph.Graph {
+	f, err := registry.FindGraph(name)
+	if err != nil {
+		panic(err)
+	}
+	g, err := f.Build(v, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func regular(n, d int, rng *rand.Rand) *graph.Graph {
+	return mustGraph("regular", registry.Values{"n": float64(n), "d": float64(d)}, rng)
+}
 
 // E1RulingSet: Theorem 2 — the (2,2)-ruling set node average stays O(1)
 // while the MIS node average exceeds it, across n and Δ.
@@ -258,6 +286,9 @@ func E1RulingSet(opt Options) (*Table, error) {
 		Claim:   "Theorem 2: randomized (2,2)-ruling set node-avg O(1); Theorem 16: MIS node-avg grows",
 		Columns: []string{"n", "Δ", "rs22 nodeAvg", "rs22 worst", "luby nodeAvg", "ghaffari nodeAvg"},
 	}
+	rsRunner, rsProb := mustAlg("ruling/rand22")
+	lubyRunner, lubyProb := mustAlg("mis/luby")
+	ghRunner, ghProb := mustAlg("mis/ghaffari")
 	var pool rowPool
 	for _, n := range ns {
 		for _, d := range ds {
@@ -267,15 +298,15 @@ func E1RulingSet(opt Options) (*Table, error) {
 			n, d := n, d
 			g := regular(n, d, rng)
 			pool.addRow(func(mp int) ([]string, error) {
-				rs, err := core.Measure(g, core.RulingSet(2), core.MessagePassing(ruling.Rand22{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				rs, err := core.Measure(g, rsProb, rsRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 				if err != nil {
 					return nil, err
 				}
-				lb, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				lb, err := core.Measure(g, lubyProb, lubyRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 				if err != nil {
 					return nil, err
 				}
-				gh, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Ghaffari{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				gh, err := core.Measure(g, ghProb, ghRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 				if err != nil {
 					return nil, err
 				}
@@ -373,15 +404,15 @@ func E3RandMatching(opt Options) (*Table, error) {
 	for _, n := range ns {
 		n := n
 		g := regular(n, 6, rng)
-		for _, alg := range []runtime.Algorithm{matching.RandLuby{}, matching.IsraeliItai{}} {
-			alg := alg
+		for _, name := range []string{"matching/randluby", "matching/israeliitai"} {
+			runner, prob := mustAlg(name)
 			pool.addRow(func(mp int) ([]string, error) {
-				rep, err := core.Measure(g, core.MaximalMatching, core.MessagePassing(alg), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+				rep, err := core.Measure(g, prob, runner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 				if err != nil {
 					return nil, err
 				}
 				return []string{
-					fmt.Sprint(n), alg.Name(), f2(rep.EdgeAvg), f2(rep.NodeAvg), f1(rep.WorstMean), f1(rep.WorstMax),
+					fmt.Sprint(n), runner.Name(), f2(rep.EdgeAvg), f2(rep.NodeAvg), f1(rep.WorstMean), f1(rep.WorstMax),
 				}, nil
 			})
 		}
@@ -442,7 +473,8 @@ func E5SinklessDet(opt Options) (*Table, error) {
 	if opt.Scale == Full {
 		ns = []int{512, 2048, 8192, 32768, 131072}
 	}
-	detAvg, detWorst, _ := core.SinklessRunners()
+	detAvg, sinklessProb := mustAlg("orient/det-averaged")
+	detWorst, _ := mustAlg("orient/det-worstcase")
 	t := &Table{
 		ID:      "E5",
 		Title:   "deterministic sinkless orientation (Theorem 6 vs global-cycle baseline)",
@@ -454,11 +486,11 @@ func E5SinklessDet(opt Options) (*Table, error) {
 		n := n
 		g := regular(n, 3, rng)
 		pool.addRow(func(mp int) ([]string, error) {
-			a, err := core.Measure(g, core.SinklessOrientation, detAvg, core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
+			a, err := core.Measure(g, sinklessProb, detAvg, core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
 			if err != nil {
 				return nil, err
 			}
-			b, err := core.Measure(g, core.SinklessOrientation, detWorst, core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
+			b, err := core.Measure(g, sinklessProb, detWorst, core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
 			if err != nil {
 				return nil, err
 			}
@@ -744,16 +776,18 @@ func E10CycleMIS(opt Options) (*Table, error) {
 		Claim:   "[Feu20]: deterministic node-avg Θ(log* n) (= worst case); randomized O(1)",
 		Columns: []string{"n", "det nodeAvg", "det worst", "luby nodeAvg", "luby worstMean"},
 	}
+	detRunner, detProb := mustAlg("mis/det-coloring")
+	lubyRunner, lubyProb := mustAlg("mis/luby")
 	var pool rowPool
 	for _, n := range ns {
 		n := n
-		g := graph.Cycle(n)
+		g := mustGraph("cycle", registry.Values{"n": float64(n)}, nil)
 		pool.addRow(func(mp int) ([]string, error) {
-			det, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Det{}), core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
+			det, err := core.Measure(g, detProb, detRunner, core.MeasureOptions{Trials: 1, Seed: seed, Parallelism: mp})
 			if err != nil {
 				return nil, err
 			}
-			lub, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			lub, err := core.Measure(g, lubyProb, lubyRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 			if err != nil {
 				return nil, err
 			}
@@ -787,21 +821,23 @@ func E11LubyEdges(opt Options) (*Table, error) {
 		Claim:   "§3.1: one-sided edge-avg O(1) (footnote 2); node-avg(MIS on L(G)) ≈ edge-avg(MM on G)",
 		Columns: []string{"n", "Δ", "oneSidedEdgeAvg", "two-sided edgeAvg", "L(G) MIS nodeAvg", "MM edgeAvg"},
 	}
+	lubyRunner, lubyProb := mustAlg("mis/luby")
+	mmRunner, mmProb := mustAlg("matching/randluby")
 	var pool rowPool
 	for _, n := range ns {
 		n := n
 		g := regular(n, 6, rng)
 		pool.addRow(func(mp int) ([]string, error) {
-			lubyRep, err := core.Measure(g, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			lubyRep, err := core.Measure(g, lubyProb, lubyRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 			if err != nil {
 				return nil, err
 			}
 			lg := graph.LineGraph(g)
-			lgRep, err := core.Measure(lg, core.MIS, core.MessagePassing(mis.Luby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			lgRep, err := core.Measure(lg, lubyProb, lubyRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 			if err != nil {
 				return nil, err
 			}
-			mmRep, err := core.Measure(g, core.MaximalMatching, core.MessagePassing(matching.RandLuby{}), core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			mmRep, err := core.Measure(g, mmProb, mmRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 			if err != nil {
 				return nil, err
 			}
@@ -926,7 +962,7 @@ func E14SinklessRand(opt Options) (*Table, error) {
 		ns = []int{512, 2048, 8192, 32768, 131072}
 		trials = 8
 	}
-	_, _, randRunner := core.SinklessRunners()
+	randRunner, sinklessProb := mustAlg("orient/rand-marking")
 	t := &Table{
 		ID:      "E14",
 		Title:   "randomized sinkless orientation (marking algorithm)",
@@ -938,7 +974,7 @@ func E14SinklessRand(opt Options) (*Table, error) {
 		n := n
 		g := regular(n, 3, rng)
 		pool.addRow(func(mp int) ([]string, error) {
-			rep, err := core.Measure(g, core.SinklessOrientation, randRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
+			rep, err := core.Measure(g, sinklessProb, randRunner, core.MeasureOptions{Trials: trials, Seed: seed, Parallelism: mp})
 			if err != nil {
 				return nil, err
 			}

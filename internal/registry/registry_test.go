@@ -1,0 +1,131 @@
+package registry
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"avgloc/internal/core"
+)
+
+// TestEveryFamilyBuilds constructs every registered family with its default
+// parameters and checks the result is a non-empty graph.
+func TestEveryFamilyBuilds(t *testing.T) {
+	for _, f := range Graphs() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			g, err := f.Build(Values{}, rand.New(rand.NewPCG(1, 2)))
+			if err != nil {
+				t.Fatalf("Build with defaults: %v", err)
+			}
+			if g.N() == 0 {
+				t.Fatalf("built an empty graph")
+			}
+		})
+	}
+}
+
+// TestEveryAlgorithmMeasures runs every registered algorithm end-to-end on a
+// suitable small graph through core.Measure — the acceptance property that
+// the whole algorithm space is reachable by name.
+func TestEveryAlgorithmMeasures(t *testing.T) {
+	fam, err := FindGraph("regular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range Algorithms() {
+		a := a
+		t.Run(strings.ReplaceAll(a.Name, "/", "_"), func(t *testing.T) {
+			// Sinkless orientation needs minimum degree >= 3; d=4 covers all.
+			g, err := fam.Build(Values{"n": 32, "d": 4}, rand.New(rand.NewPCG(3, 4)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runner, problem := a.New()
+			rep, err := core.Measure(g, problem, runner, core.MeasureOptions{Trials: 2, Seed: 11})
+			if err != nil {
+				t.Fatalf("Measure(%s): %v", a.Name, err)
+			}
+			if rep.Trials != 2 || rep.NodeAvg < 0 {
+				t.Fatalf("implausible report: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestFindErrorsListEntries(t *testing.T) {
+	if _, err := FindGraph("no-such-family"); err == nil || !strings.Contains(err.Error(), "caterpillar") {
+		t.Fatalf("FindGraph error should list available families, got: %v", err)
+	}
+	if _, err := FindAlgorithm("no/such"); err == nil || !strings.Contains(err.Error(), "mis/luby") {
+		t.Fatalf("FindAlgorithm error should list available entries, got: %v", err)
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	fam, err := FindGraph("regular")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fam.Normalize(Values{"q": 3}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if _, err := fam.Normalize(Values{"n": 10.5}); err == nil {
+		t.Fatal("fractional integer parameter accepted")
+	}
+	if _, err := fam.Build(Values{"n": 9, "d": 3}, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("odd n*d accepted for regular family")
+	}
+	if _, err := fam.Normalize(Values{"n": 1 << 21}); err == nil {
+		t.Fatal("n above the family maximum accepted")
+	}
+	if _, err := fam.Build(Values{"n": 1 << 20, "d": 256}, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("regular graph above the edge budget accepted")
+	}
+	gnp, err := FindGraph("gnp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gnp.Build(Values{"n": 65536, "p": 1}, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("gnp graph above the edge budget accepted")
+	}
+	v, err := fam.Normalize(Values{"n": 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v["d"] != 6 {
+		t.Fatalf("default not filled: %v", v)
+	}
+}
+
+// TestRandomFamiliesDeterministic checks equal seeds give identical graphs
+// through the registry path (the property the result cache depends on).
+func TestRandomFamiliesDeterministic(t *testing.T) {
+	for _, name := range []string{"tree", "caterpillar", "ba", "gnp", "regular", "bipartite-regular"} {
+		fam, err := FindGraph(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fam.Random {
+			t.Fatalf("%s should be marked Random", name)
+		}
+		a, err := fam.Build(Values{}, rand.New(rand.NewPCG(9, 7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fam.Build(Values{}, rand.New(rand.NewPCG(9, 7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Fatalf("%s: equal seeds gave different graphs (%v vs %v)", name, a, b)
+		}
+		for e := 0; e < a.M(); e++ {
+			au, av := a.Endpoints(e)
+			bu, bv := b.Endpoints(e)
+			if au != bu || av != bv {
+				t.Fatalf("%s: edge %d differs", name, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package resultstore caches serialized scenario outcomes keyed by the
+// scenario content key (hash + seed, see internal/scenario.Spec.Key). The
+// cached value is the exact byte rendering of the outcome, so a cache hit
+// is served bit-identically to the run that produced it. The store is a
+// bounded in-memory LRU with optional write-through disk persistence, which
+// lets a restarted server keep serving previously computed scenarios. Both
+// tiers are bounded: memory at the configured capacity, disk at a fixed
+// multiple of it (oldest files evicted first).
+package resultstore
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats counts store traffic.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// Store is a bounded LRU of serialized reports. The zero value is not
+// usable; construct with New.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	dir   string // "" = memory only
+	stats Stats
+
+	// The disk tier is bounded too (diskFactor × cap files): a stream of
+	// distinct keys must not fill the disk of a long-running server. Files
+	// are evicted in write order (startup scan ordered by mtime).
+	diskCap  int
+	diskKeys []string
+	diskSet  map[string]bool
+}
+
+// diskFactor sizes the disk tier relative to the memory tier.
+const diskFactor = 16
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// New returns a store holding at most capacity entries in memory. If dir is
+// non-empty it is created and every Put is also written there (one file per
+// key, atomic rename), and Get falls back to it on memory misses.
+func New(capacity int, dir string) (*Store, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("resultstore: capacity must be >= 1, got %d", capacity)
+	}
+	s := &Store{
+		cap:     capacity,
+		ll:      list.New(),
+		index:   make(map[string]*list.Element),
+		dir:     dir,
+		diskCap: diskFactor * capacity,
+		diskSet: make(map[string]bool),
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultstore: %w", err)
+		}
+		if err := s.scanDisk(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// scanDisk indexes pre-existing cache files oldest-first so the eviction
+// order of a restarted server continues where the previous one stopped.
+func (s *Store) scanDisk() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	type aged struct {
+		key string
+		mod int64
+	}
+	var files []aged
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".json")
+		if !validKey(key) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, aged{key, info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for _, f := range files {
+		s.diskKeys = append(s.diskKeys, f.key)
+		s.diskSet[f.key] = true
+	}
+	s.pruneDiskLocked()
+	return nil
+}
+
+// pruneDiskLocked removes the oldest disk files beyond the disk bound.
+// Caller holds s.mu (or has exclusive access during New).
+func (s *Store) pruneDiskLocked() {
+	for len(s.diskKeys) > s.diskCap {
+		key := s.diskKeys[0]
+		s.diskKeys = s.diskKeys[1:]
+		delete(s.diskSet, key)
+		os.Remove(s.path(key))
+	}
+}
+
+// validKey reports whether key is safe as a file name (hex hash + "-s" +
+// decimal seed, per scenario.Key).
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c == '-', c == 's':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the cached bytes for key. The returned slice is a copy. A
+// memory miss consults the disk directory (if configured) and re-admits the
+// entry on success.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.index[key]; ok {
+		s.ll.MoveToFront(el)
+		val := append([]byte(nil), el.Value.(*entry).val...)
+		s.stats.Hits++
+		s.mu.Unlock()
+		return val, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir != "" && validKey(key) {
+		if data, err := os.ReadFile(s.path(key)); err == nil {
+			s.mu.Lock()
+			s.admit(key, data)
+			s.stats.Hits++
+			s.mu.Unlock()
+			return append([]byte(nil), data...), true
+		}
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	return nil, false
+}
+
+// Put stores val under key, evicting the least recently used entry when the
+// store is full, and persists to disk when configured.
+func (s *Store) Put(key string, val []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("resultstore: invalid key %q", key)
+	}
+	cp := append([]byte(nil), val...)
+	s.mu.Lock()
+	s.admit(key, cp)
+	s.stats.Puts++
+	dir := s.dir
+	s.mu.Unlock()
+
+	if dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(cp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.mu.Lock()
+	if !s.diskSet[key] {
+		s.diskSet[key] = true
+		s.diskKeys = append(s.diskKeys, key)
+		s.pruneDiskLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// admit inserts or refreshes key in the LRU. Caller holds s.mu.
+func (s *Store) admit(key string, val []byte) {
+	if el, ok := s.index[key]; ok {
+		el.Value.(*entry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.index[key] = s.ll.PushFront(&entry{key: key, val: val})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.index, oldest.Value.(*entry).key)
+		s.stats.Evictions++
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	return st
+}

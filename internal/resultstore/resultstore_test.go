@@ -1,0 +1,166 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	s, err := New(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("aa-s1"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	want := []byte(`{"hash":"aa"}`)
+	if err := s.Put("aa-s1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("aa-s1")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("round trip lost data: %q ok=%v", got, ok)
+	}
+	// Mutating the returned slice must not corrupt the store.
+	got[0] = 'X'
+	again, _ := s.Get("aa-s1")
+	if !bytes.Equal(again, want) {
+		t.Fatal("store aliases caller memory")
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("%02d-s0", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if _, ok := s.Get("00-s0"); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	// Touch 01 so 02 is evicted next.
+	if _, ok := s.Get("01-s0"); !ok {
+		t.Fatal("entry 01 missing")
+	}
+	if err := s.Put("03-s0", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("02-s0"); ok {
+		t.Fatal("LRU did not evict the least recently used entry")
+	}
+	if _, ok := s.Get("01-s0"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+}
+
+func TestDiskPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("persisted report\n")
+	if err := s.Put("ab12-s7", want); err != nil {
+		t.Fatal(err)
+	}
+	// Evict it from memory; disk must still serve it.
+	s.Put("cc-s0", []byte("a"))
+	s.Put("dd-s0", []byte("b"))
+	if got, ok := s.Get("ab12-s7"); !ok || !bytes.Equal(got, want) {
+		t.Fatalf("disk fallback failed: %q ok=%v", got, ok)
+	}
+
+	// A fresh store over the same directory sees the entry (restart case).
+	s2, err := New(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("ab12-s7"); !ok || !bytes.Equal(got, want) {
+		t.Fatalf("restart lost the entry: %q ok=%v", got, ok)
+	}
+}
+
+// TestDiskTierBounded: the disk tier evicts oldest files beyond
+// diskFactor × capacity, so -cache-dir cannot grow without bound.
+func TestDiskTierBounded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(1, dir) // disk bound = diskFactor = 16 files
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Put(fmt.Sprintf("%03d-s0", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) > diskFactor {
+		t.Fatalf("disk tier holds %d files, want <= %d", len(files), diskFactor)
+	}
+	// Newest key survives on disk, oldest is gone.
+	if _, ok := s.Get("039-s0"); !ok {
+		t.Fatal("newest disk entry missing")
+	}
+	s2, err := New(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("000-s0"); ok {
+		t.Fatal("evicted disk entry still served after restart")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, err := New(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "UPPER", "a/b", "a b"} {
+		if err := s.Put(key, []byte("x")); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("key %q readable", key)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := New(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("%02d-s0", w%4)
+			for i := 0; i < 200; i++ {
+				s.Put(key, []byte{byte(w)})
+				s.Get(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() > 8 {
+		t.Fatalf("len %d exceeds capacity", s.Len())
+	}
+}

@@ -1,0 +1,249 @@
+// Package scenario turns a declarative JSON description of a measurement
+// workload — graph family + parameters, algorithm, trial count, seed and an
+// optional sweep axis — into executed core.Measure reports. A Spec has a
+// canonical content hash that is independent of JSON field ordering and of
+// the seed, so (hash, seed) identifies a run's full output and serves as
+// the result-cache key used by internal/resultstore and cmd/avgserve.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"strings"
+
+	"avgloc/internal/core"
+	"avgloc/internal/registry"
+)
+
+// DefaultTrials is the trial count used when a Spec leaves Trials unset.
+const DefaultTrials = 3
+
+// MaxTrials, MaxSweepValues and MaxTotalTrials bound what one scenario may
+// ask of a server worker: avgserve accepts unauthenticated specs, so a
+// single request's work must be bounded. The caps compose — the product
+// trials × rows is capped too, and the registry's edge budget bounds the
+// per-trial graph size.
+const (
+	MaxTrials      = 4096
+	MaxSweepValues = 256
+	MaxTotalTrials = 16384
+)
+
+// Sweep varies one graph parameter across a list of values, producing one
+// report row per value.
+type Sweep struct {
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+}
+
+// Spec is the declarative description of one measurement workload.
+type Spec struct {
+	// Name is a free-form label; it does not affect the content hash.
+	Name      string          `json:"name,omitempty"`
+	Graph     string          `json:"graph"`
+	Params    registry.Values `json:"params,omitempty"`
+	Algorithm string          `json:"algorithm"`
+	// Trials is the number of independent trials per row (default
+	// DefaultTrials).
+	Trials int `json:"trials,omitempty"`
+	// Seed is the master seed for graph generation, identifier permutations
+	// and algorithm randomness.
+	Seed  uint64 `json:"seed,omitempty"`
+	Sweep *Sweep `json:"sweep,omitempty"`
+}
+
+// Normalize validates the spec against the registry and returns a copy with
+// defaults filled in: graph parameters completed from the family's
+// declaration and the trial count made explicit. Normalizing is idempotent,
+// and two specs that normalize equal are the same scenario.
+func (s *Spec) Normalize() (*Spec, error) {
+	if s.Graph == "" {
+		return nil, fmt.Errorf("scenario: missing \"graph\"")
+	}
+	if s.Algorithm == "" {
+		return nil, fmt.Errorf("scenario: missing \"algorithm\"")
+	}
+	fam, err := registry.FindGraph(s.Graph)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := registry.FindAlgorithm(s.Algorithm); err != nil {
+		return nil, err
+	}
+	params, err := fam.Normalize(s.Params)
+	if err != nil {
+		return nil, err
+	}
+	out := *s
+	// Name is a non-identifying label excluded from the hash; clear it so a
+	// cached outcome never serves one client's label to another.
+	out.Name = ""
+	out.Params = params
+	if out.Trials <= 0 {
+		out.Trials = DefaultTrials
+	}
+	if out.Trials > MaxTrials {
+		return nil, fmt.Errorf("scenario: trials %d above maximum %d", out.Trials, MaxTrials)
+	}
+	if s.Sweep != nil {
+		if len(s.Sweep.Values) == 0 {
+			return nil, fmt.Errorf("scenario: sweep over %q has no values", s.Sweep.Param)
+		}
+		if len(s.Sweep.Values) > MaxSweepValues {
+			return nil, fmt.Errorf("scenario: sweep has %d values, maximum %d", len(s.Sweep.Values), MaxSweepValues)
+		}
+		if total := out.Trials * len(s.Sweep.Values); total > MaxTotalTrials {
+			return nil, fmt.Errorf("scenario: trials × sweep values = %d, maximum %d", total, MaxTotalTrials)
+		}
+		sweep := Sweep{Param: s.Sweep.Param, Values: append([]float64(nil), s.Sweep.Values...)}
+		out.Sweep = &sweep
+		// Each sweep value must itself validate against the family.
+		for _, x := range sweep.Values {
+			v := params.Clone()
+			v[sweep.Param] = x
+			if _, err := fam.Normalize(v); err != nil {
+				return nil, fmt.Errorf("scenario: sweep value %v: %w", x, err)
+			}
+		}
+	}
+	return &out, nil
+}
+
+// Hash returns the canonical content hash of the scenario: a sha256 over a
+// fixed-order rendering of the normalized spec. JSON field ordering, map
+// ordering, omitted defaults and the Name label do not change it; the Seed
+// does not either — the result-cache key is (Hash, Seed), see Key.
+func (s *Spec) Hash() (string, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("scenario/v1\n")
+	fmt.Fprintf(&b, "graph=%s\n", n.Graph)
+	keys := make([]string, 0, len(n.Params))
+	for k := range n.Params {
+		keys = append(keys, k)
+	}
+	// Sorted keys make the rendering independent of map iteration order.
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "param.%s=%s\n", k, strconv.FormatFloat(n.Params[k], 'g', -1, 64))
+	}
+	fmt.Fprintf(&b, "alg=%s\n", n.Algorithm)
+	fmt.Fprintf(&b, "trials=%d\n", n.Trials)
+	if n.Sweep != nil {
+		vals := make([]string, len(n.Sweep.Values))
+		for i, x := range n.Sweep.Values {
+			vals[i] = strconv.FormatFloat(x, 'g', -1, 64)
+		}
+		fmt.Fprintf(&b, "sweep.%s=%s\n", n.Sweep.Param, strings.Join(vals, ","))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Key returns the result-cache key of this spec at its seed:
+// "<hash>-s<seed>". It is filesystem- and URL-safe.
+func (s *Spec) Key() (string, error) {
+	h, err := s.Hash()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s-s%d", h, s.Seed), nil
+}
+
+// Row is one measured point of an outcome: the effective graph parameters
+// and the aggregated report.
+type Row struct {
+	Params registry.Values `json:"params"`
+	Report *core.Report    `json:"report"`
+}
+
+// Outcome is the executed scenario: the normalized spec, its content hash,
+// and one row per sweep value (a single row without a sweep).
+type Outcome struct {
+	Spec *Spec  `json:"spec"`
+	Hash string `json:"hash"`
+	Rows []Row  `json:"rows"`
+}
+
+// MarshalStable renders the outcome as deterministic, indented JSON: equal
+// outcomes produce byte-identical documents (encoding/json sorts map keys),
+// which is what the result store caches and the server serves.
+func (o *Outcome) MarshalStable() ([]byte, error) {
+	data, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Options configures execution.
+type Options struct {
+	// Parallelism is forwarded to core.MeasureOptions.Parallelism. Reports
+	// are bit-identical at every level.
+	Parallelism int
+}
+
+// graphStream returns the PRNG that generates row i's graph: derived from
+// the master seed and the row index alone, so rows are independent of
+// execution order and equal (spec, seed) pairs always build equal graphs.
+func graphStream(seed uint64, row int) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0xA11CE5+uint64(row)*0x9E3779B97F4A7C15))
+}
+
+// Run executes the scenario: builds each row's graph from the seed-derived
+// stream, resolves the algorithm from the registry, and measures. The
+// outcome depends only on (normalized spec, seed, registry contents) —
+// never on scheduling — so it can be cached under Key.
+func Run(s *Spec, opt Options) (*Outcome, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return nil, err
+	}
+	fam, err := registry.FindGraph(n.Graph)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := registry.FindAlgorithm(n.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	rowParams := []registry.Values{n.Params}
+	if n.Sweep != nil {
+		rowParams = rowParams[:0]
+		for _, x := range n.Sweep.Values {
+			v := n.Params.Clone()
+			v[n.Sweep.Param] = x
+			rowParams = append(rowParams, v)
+		}
+	}
+	out := &Outcome{Spec: n, Hash: hash, Rows: make([]Row, 0, len(rowParams))}
+	for i, params := range rowParams {
+		g, err := fam.Build(params, graphStream(n.Seed, i))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: row %d: %w", i, err)
+		}
+		runner, problem := entry.New()
+		rep, err := core.Measure(g, problem, runner, core.MeasureOptions{
+			Trials:      n.Trials,
+			Seed:        n.Seed,
+			Parallelism: opt.Parallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: row %d (%s on %s): %w", i, n.Algorithm, g, err)
+		}
+		out.Rows = append(out.Rows, Row{Params: params, Report: rep})
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func mustHash(t *testing.T, s *Spec) string {
+	t.Helper()
+	h, err := s.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHashStableAcrossFieldOrderings parses the same scenario from JSON
+// documents with different field and param orderings and checks the
+// canonical hash agrees.
+func TestHashStableAcrossFieldOrderings(t *testing.T) {
+	docs := []string{
+		`{"graph":"regular","params":{"n":128,"d":4},"algorithm":"mis/luby","trials":3,"seed":7}`,
+		`{"seed":7,"trials":3,"algorithm":"mis/luby","params":{"d":4,"n":128},"graph":"regular"}`,
+		`{"algorithm":"mis/luby","graph":"regular","seed":7,"params":{"n":128,"d":4}}`,                     // trials omitted = default 3
+		`{"graph":"regular","params":{"n":128,"d":4},"algorithm":"mis/luby","seed":991,"name":"labelled"}`, // seed+name excluded from hash
+	}
+	var want string
+	for i, doc := range docs {
+		var s Spec
+		if err := json.Unmarshal([]byte(doc), &s); err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		h := mustHash(t, &s)
+		if i == 0 {
+			want = h
+			continue
+		}
+		if h != want {
+			t.Fatalf("doc %d hashes to %s, doc 0 to %s", i, h, want)
+		}
+	}
+}
+
+func TestHashSeparatesScenarios(t *testing.T) {
+	base := Spec{Graph: "regular", Params: map[string]float64{"n": 128, "d": 4}, Algorithm: "mis/luby", Seed: 7}
+	h0 := mustHash(t, &base)
+
+	alg := base
+	alg.Algorithm = "mis/ghaffari"
+	if mustHash(t, &alg) == h0 {
+		t.Fatal("different algorithms hash equal")
+	}
+	par := base
+	par.Params = map[string]float64{"n": 256, "d": 4}
+	if mustHash(t, &par) == h0 {
+		t.Fatal("different params hash equal")
+	}
+	tr := base
+	tr.Trials = 5
+	if mustHash(t, &tr) == h0 {
+		t.Fatal("different trial counts hash equal")
+	}
+	sw := base
+	sw.Sweep = &Sweep{Param: "n", Values: []float64{64, 128}}
+	if mustHash(t, &sw) == h0 {
+		t.Fatal("sweep ignored by hash")
+	}
+
+	// The Name label is cleared on Normalize, so cached outcomes cannot
+	// leak one client's label to another submitting the same scenario.
+	labelled := base
+	labelled.Name = "private-label"
+	norm, err := labelled.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Name != "" {
+		t.Fatalf("Normalize kept the name label %q", norm.Name)
+	}
+
+	// Seed changes the key but not the hash.
+	sd := base
+	sd.Seed = 8
+	if mustHash(t, &sd) != h0 {
+		t.Fatal("seed changed the content hash")
+	}
+	k0, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := sd.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 == k1 {
+		t.Fatal("different seeds share a cache key")
+	}
+}
+
+func TestNormalizeRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Algorithm: "mis/luby"},                  // no graph
+		{Graph: "cycle"},                         // no algorithm
+		{Graph: "nope", Algorithm: "mis/luby"},   // unknown family
+		{Graph: "cycle", Algorithm: "nope/nope"}, // unknown algorithm
+		{Graph: "cycle", Params: map[string]float64{"q": 1}, Algorithm: "mis/luby"},
+		{Graph: "cycle", Algorithm: "mis/luby", Sweep: &Sweep{Param: "n"}},                       // empty sweep
+		{Graph: "cycle", Algorithm: "mis/luby", Sweep: &Sweep{Param: "n", Values: []float64{2}}}, // below min
+		{Graph: "cycle", Algorithm: "mis/luby", Trials: MaxTrials + 1},                           // worker-hogging trials
+		{Graph: "cycle", Algorithm: "mis/luby", Sweep: &Sweep{Param: "n", Values: make([]float64, MaxSweepValues+1)}},
+	}
+	for i, s := range bad {
+		if _, err := s.Normalize(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+// TestRunDeterministic runs the same scenario twice and checks the stable
+// marshalled outcomes are byte-identical, including across parallelism
+// levels — the property the result cache is built on.
+func TestRunDeterministic(t *testing.T) {
+	spec := &Spec{
+		Graph:     "regular",
+		Params:    map[string]float64{"n": 64, "d": 4},
+		Algorithm: "matching/randluby",
+		Trials:    2,
+		Seed:      13,
+	}
+	a, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("outcomes differ across runs/parallelism:\n%s\nvs\n%s", ab, bb)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	spec := &Spec{
+		Graph:     "caterpillar",
+		Params:    map[string]float64{"spine": 16},
+		Algorithm: "mis/luby",
+		Trials:    1,
+		Seed:      3,
+		Sweep:     &Sweep{Param: "n", Values: []float64{32, 64, 128}},
+	}
+	out, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(out.Rows))
+	}
+	for i, want := range []float64{32, 64, 128} {
+		if out.Rows[i].Params["n"] != want {
+			t.Fatalf("row %d swept n=%v, want %v", i, out.Rows[i].Params["n"], want)
+		}
+		if out.Rows[i].Report == nil || out.Rows[i].Report.Trials != 1 {
+			t.Fatalf("row %d has no valid report", i)
+		}
+	}
+}
