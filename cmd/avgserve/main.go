@@ -13,6 +13,7 @@
 //	GET  /healthz                 liveness + cache statistics
 //	GET  /v1/registry             graph families and algorithms, JSON
 //	POST /v1/run                  run a scenario spec synchronously
+//	POST /v1/batch                run up to 32 specs; streams NDJSON completions
 //	POST /v1/jobs                 submit a scenario, returns a job id
 //	GET  /v1/jobs/{id}            poll job status
 //	GET  /v1/jobs/{id}/result     fetch a finished job's report
@@ -43,7 +44,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 4, "concurrent scenario executions")
-	parallelism := flag.Int("parallelism", 1, "core.Measure trial parallelism per scenario (bit-identical at any level)")
+	parallelism := flag.Int("parallelism", 1, "per-scenario worker budget over sweep rows and trials (bit-identical at any level)")
 	cacheSize := flag.Int("cache-size", 1024, "in-memory result cache entries")
 	cacheDir := flag.String("cache-dir", "", "optional directory for persistent result cache")
 	flag.Parse()

@@ -42,7 +42,7 @@ type job struct {
 type server struct {
 	mux    *http.ServeMux
 	store  *resultstore.Store
-	par    int // core.MeasureOptions.Parallelism per scenario run
+	par    int // scenario.Options.Parallelism: per-run budget over rows × trials
 	queue  chan *job
 	retain int // finished jobs kept for polling before pruning
 
@@ -54,9 +54,10 @@ type server struct {
 }
 
 // newServer starts `workers` pool goroutines and returns the ready server.
-// par is forwarded to core.MeasureOptions.Parallelism; because every trial
-// stream is counter-derived from the master seed, responses are
-// bit-identical at any (workers, par) combination.
+// par is each scenario run's scenario.Options.Parallelism worker budget,
+// split between concurrent sweep rows and per-row trial fan-out; because
+// every random stream is counter-derived from the master seed, responses
+// are bit-identical at any (workers, par) combination.
 func newServer(store *resultstore.Store, workers, par int) *server {
 	if workers < 1 {
 		workers = 1
@@ -76,6 +77,7 @@ func newServer(store *resultstore.Store, workers, par int) *server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -210,19 +212,28 @@ func submitStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) *scenario.Spec {
+// decodeJSON strictly decodes a bounded request body into v. Unknown
+// fields are rejected: silently dropping a misspelled "trials" would run
+// (and cache) a different scenario than the client asked for. Reports the
+// HTTP error itself and returns false on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, what string, v any) bool {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
-		return nil
+		return false
 	}
-	var spec scenario.Spec
 	dec := json.NewDecoder(bytes.NewReader(body))
-	// Unknown fields are rejected: silently dropping a misspelled "trials"
-	// would run (and cache) a different scenario than the client asked for.
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing scenario: %w", err))
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing %s: %w", what, err))
+		return false
+	}
+	return true
+}
+
+func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) *scenario.Spec {
+	var spec scenario.Spec
+	if !decodeJSON(w, r, "scenario", &spec) {
 		return nil
 	}
 	return &spec
@@ -270,6 +281,89 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Avgserve-Key", j.Key)
 	w.WriteHeader(http.StatusOK)
 	w.Write(result)
+}
+
+// maxBatchSpecs bounds one batch request: avgserve accepts unauthenticated
+// specs, so a single request's fan-out must be bounded like everything else.
+const maxBatchSpecs = 32
+
+// batchItem is one line of the /v1/batch NDJSON response stream.
+type batchItem struct {
+	Index  int    `json:"index"`
+	Status string `json:"status"` // done | error
+	Key    string `json:"key,omitempty"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleBatch runs up to maxBatchSpecs scenario specs in one request and
+// streams one NDJSON line per spec as it completes (completion order, each
+// line tagged with the spec's index in the request). Every spec goes
+// through the same submit path as /v1/run, so batches dedupe against the
+// result store and against in-flight jobs — including duplicates within the
+// batch itself, which all join a single execution. Result bytes are fetched
+// separately via GET /v1/reports/{key}: the stream carries completion
+// events, the store carries the canonical bytes.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Specs []scenario.Spec `json:"specs"`
+	}
+	if !decodeJSON(w, r, "batch", &req) {
+		return
+	}
+	if len(req.Specs) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("batch has no specs"))
+		return
+	}
+	if len(req.Specs) > maxBatchSpecs {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("batch has %d specs, maximum %d", len(req.Specs), maxBatchSpecs))
+		return
+	}
+
+	// Submit everything before streaming starts: cache hits and duplicate
+	// joins resolve here, and a per-spec failure (validation, queue full)
+	// becomes that spec's error line instead of failing the whole batch.
+	jobs := make([]*job, len(req.Specs))
+	errs := make([]error, len(req.Specs))
+	for i := range req.Specs {
+		jobs[i], errs[i] = s.submit(&req.Specs[i])
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	lines := make(chan batchItem, len(req.Specs))
+	var wg sync.WaitGroup
+	for i := range req.Specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if errs[i] != nil {
+				lines <- batchItem{Index: i, Status: statusError, Error: errs[i].Error()}
+				return
+			}
+			j := jobs[i]
+			<-j.done
+			s.mu.Lock()
+			item := batchItem{Index: i, Status: j.Status, Key: j.Key, Cached: j.Cached, Error: j.Error}
+			s.mu.Unlock()
+			lines <- item
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(lines)
+	}()
+	enc := json.NewEncoder(w)
+	for item := range lines {
+		if err := enc.Encode(item); err != nil {
+			return // client went away; jobs keep running and stay cached
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 }
 
 // handleSubmit enqueues a scenario and returns the job id immediately.

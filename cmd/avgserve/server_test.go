@@ -216,6 +216,95 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestBatchEndpoint: /v1/batch runs several specs, streams one NDJSON line
+// per spec tagged with its request index, dedupes duplicates within the
+// batch onto one cache key, and reports per-spec errors without failing the
+// batch.
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t, "")
+	batch := `{"specs":[
+		{"graph":"regular","params":{"n":48,"d":4},"algorithm":"mis/luby","trials":2,"seed":5},
+		{"graph":"cycle","params":{"n":32},"algorithm":"mis/luby","trials":2,"seed":5},
+		{"graph":"regular","params":{"n":48,"d":4},"algorithm":"mis/luby","trials":2,"seed":5},
+		{"graph":"nope","algorithm":"mis/luby"}
+	]}`
+	resp, body := post(t, ts.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	type item struct {
+		Index  int    `json:"index"`
+		Status string `json:"status"`
+		Key    string `json:"key"`
+		Cached bool   `json:"cached"`
+		Error  string `json:"error"`
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d NDJSON lines, want 4: %s", len(lines), body)
+	}
+	byIndex := map[int]item{}
+	for _, l := range lines {
+		var it item
+		if err := json.Unmarshal([]byte(l), &it); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		byIndex[it.Index] = it
+	}
+	for i := 0; i < 3; i++ {
+		if byIndex[i].Status != "done" || byIndex[i].Key == "" {
+			t.Fatalf("spec %d: %+v", i, byIndex[i])
+		}
+	}
+	if byIndex[0].Key != byIndex[2].Key {
+		t.Fatalf("duplicate specs got different keys: %q vs %q", byIndex[0].Key, byIndex[2].Key)
+	}
+	if byIndex[0].Key == byIndex[1].Key {
+		t.Fatal("distinct specs share a key")
+	}
+	if byIndex[3].Status != "error" || !strings.Contains(byIndex[3].Error, "caterpillar") {
+		t.Fatalf("invalid spec did not error with the family catalogue: %+v", byIndex[3])
+	}
+	// Completed batch results are served canonically from the store.
+	r, report := get(t, ts.URL+"/v1/reports/"+byIndex[0].Key)
+	if r.StatusCode != http.StatusOK || !strings.Contains(string(report), `"rows"`) {
+		t.Fatalf("batch result not cached: status %d", r.StatusCode)
+	}
+	// A repeated batch is answered from the cache.
+	_, body2 := post(t, ts.URL+"/v1/batch", batch)
+	for _, l := range strings.Split(strings.TrimSpace(string(body2)), "\n") {
+		var it item
+		if err := json.Unmarshal([]byte(l), &it); err != nil {
+			t.Fatal(err)
+		}
+		if it.Status == "done" && !it.Cached {
+			t.Fatalf("repeat batch spec %d missed the cache", it.Index)
+		}
+	}
+}
+
+func TestBatchRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, "")
+	if resp, _ := post(t, ts.URL+"/v1/batch", `{"specs":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/batch", `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", resp.StatusCode)
+	}
+	var specs []string
+	for i := 0; i < maxBatchSpecs+1; i++ {
+		specs = append(specs, `{"graph":"cycle","params":{"n":16},"algorithm":"mis/luby"}`)
+	}
+	over := `{"specs":[` + strings.Join(specs, ",") + `]}`
+	resp, body := post(t, ts.URL+"/v1/batch", over)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "maximum") {
+		t.Fatalf("oversized batch: status %d: %s", resp.StatusCode, body)
+	}
+}
+
 // TestJobPruning bounds the job index: finished jobs beyond the retention
 // cap are forgotten while the newest stay pollable.
 func TestJobPruning(t *testing.T) {

@@ -6,9 +6,15 @@
 // Usage:
 //
 //	localsim -graph regular -params n=1024,d=6 -alg mis/luby -trials 5
+//	localsim -graph regular -params n=1024,d=6 -alg mis/luby -trials 5 -dist
 //	localsim -graph caterpillar -params n=4096,spine=512 -alg mis/det-coloring
 //	localsim -graph ba -params n=8192,m=3 -alg matching/randluby
 //	localsim -list
+//
+// -dist additionally prints the completion-time distribution behind the
+// averages: exact p50/p90/p99/max quantiles of per-node and per-edge
+// expected times, a log₂ histogram, and the across-trial variance of the
+// run-level averages.
 //
 // The legacy -n and -d flags still work for families that declare those
 // parameters; -params wins where both are given.
@@ -23,6 +29,7 @@ import (
 	"strings"
 
 	"avgloc/internal/core"
+	"avgloc/internal/measure"
 	"avgloc/internal/registry"
 )
 
@@ -80,6 +87,7 @@ func run() error {
 	trials := flag.Int("trials", 3, "independent trials")
 	seed := flag.Uint64("seed", 1, "master seed")
 	parallel := flag.Int("parallel", 1, "trial parallelism (reports are bit-identical at any level)")
+	dist := flag.Bool("dist", false, "print the completion-time distribution (quantiles, log2 histogram, trial variance)")
 	flag.Parse()
 
 	if *list {
@@ -158,5 +166,43 @@ func run() error {
 	if rep.Messages > 0 {
 		fmt.Printf("messages/trial: %.0f\n", rep.Messages)
 	}
+	if *dist {
+		printDist(&rep.Dist)
+	}
 	return nil
+}
+
+// printDist renders the distribution block of a report: the object behind
+// the averages — most nodes finish early, a vanishing tail pays the worst
+// case.
+func printDist(d *measure.Dist) {
+	fmt.Printf("node time quantiles: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		d.NodeQ.P50, d.NodeQ.P90, d.NodeQ.P99, d.NodeQ.Max)
+	fmt.Printf("edge time quantiles: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		d.EdgeQ.P50, d.EdgeQ.P90, d.EdgeQ.P99, d.EdgeQ.Max)
+	fmt.Printf("node log2 histogram: %s\n", histString(d.NodeHist))
+	fmt.Printf("edge log2 histogram: %s\n", histString(d.EdgeHist))
+	fmt.Printf("trial variance:      nodeAvg %.4f  edgeAvg %.4f\n", d.NodeAvgVar, d.EdgeAvgVar)
+}
+
+// histString renders non-empty log2 buckets as "[lo,hi):count" pairs.
+func histString(h [measure.HistBuckets]int64) string {
+	var parts []string
+	for i, c := range h {
+		if c == 0 {
+			continue
+		}
+		switch {
+		case i == 0:
+			parts = append(parts, fmt.Sprintf("[0,1):%d", c))
+		case i == measure.HistBuckets-1:
+			parts = append(parts, fmt.Sprintf("[%d,∞):%d", 1<<(i-1), c))
+		default:
+			parts = append(parts, fmt.Sprintf("[%d,%d):%d", 1<<(i-1), 1<<i, c))
+		}
+	}
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, "  ")
 }

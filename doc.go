@@ -29,15 +29,33 @@
 // synchronous message passing. Engine reuse (runtime.NewEngine) keeps all
 // per-run buffers in graph-sized arenas across repeated trials.
 //
+// # Measurement distributions
+//
+// Every core.Report carries a Dist block (measure.Dist): exact nearest-rank
+// p50/p90/p99/max quantiles and a fixed-bucket log₂ histogram of the
+// per-node and per-edge expected completion times, plus the across-trial
+// sample variance of the run-level averages. This is the distribution the
+// paper's averaged measures summarize — most nodes finish in O(1) rounds
+// while a vanishing fraction pays the worst case — made inspectable: the
+// E1/E3/E10 harness tables print p50/p99 columns, and `localsim -dist`
+// renders the full block. Quantiles are computed by sorting into a scratch
+// buffer shared across the aggregator's quantile passes, never by
+// sketching, so they are exact.
+//
 // # Deterministic parallelism
 //
 // core.Measure fans independent trials over a worker pool
-// (MeasureOptions.Parallelism); the harness additionally fans independent
-// table rows out (harness.Options.Parallelism). Every random stream — a
-// trial's identifier permutation and its algorithm seed — is derived from
-// the master seed and the trial index alone (counter-based PCG streams),
-// and outcomes merge in trial order, so reports and tables are
-// bit-identical at every parallelism level. Run
+// (MeasureOptions.Parallelism); scenario.Run fans sweep rows out under one
+// budget (Options.Parallelism, split between concurrent rows and per-row
+// trial workers); the harness does the same for table rows
+// (harness.Options.Parallelism). Every random stream is derived from the
+// master seed and the (row, trial) indices alone: identifier permutations
+// and graph generation use counter-keyed PCG streams, while algorithm
+// seeds and per-row measurement seeds go through SplitMix64-finalized
+// counter derivations (internal/seedmix; a plain additive stride would let
+// related master seeds share shifted streams). Outcomes merge in row/trial
+// order, so reports, tables and scenario outcomes are bit-identical at
+// every parallelism level. Run
 // `avgbench -json BENCH_results.json` to regenerate the performance
 // trajectory file.
 //
@@ -49,8 +67,13 @@
 // the harness resolve their runners through it. internal/scenario turns a
 // JSON spec — graph + params, algorithm, trials, seed, optional sweep —
 // into measured reports, with a canonical content hash that ignores field
-// ordering and labels. cmd/avgserve serves that layer over HTTP behind a
-// bounded worker pool, caching each outcome's exact byte rendering in
+// ordering and labels. Each sweep row measures under its own derived seed
+// (the hash preamble is scenario/v2; v1 disk cache entries simply miss and
+// age out). cmd/avgserve serves that layer over HTTP behind a bounded
+// worker pool, caching each outcome's exact byte rendering in
 // internal/resultstore under (hash, seed): identical submissions are
-// answered from the cache bit-identically, at any worker count.
+// answered from the cache bit-identically, at any worker count. POST
+// /v1/batch accepts up to 32 specs in one request, dedupes them against the
+// store, in-flight jobs and each other, and streams one NDJSON completion
+// line per spec.
 package avgloc

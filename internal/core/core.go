@@ -19,6 +19,7 @@ import (
 	"avgloc/internal/ids"
 	"avgloc/internal/measure"
 	"avgloc/internal/runtime"
+	"avgloc/internal/seedmix"
 )
 
 // Problem fixes a graph problem's output kind and validator.
@@ -188,6 +189,10 @@ type Report struct {
 	// One-sided edge average (footnote 2); only for node-output problems.
 	OneSidedEdgeAvg float64
 	Messages        float64 // mean messages per trial (message-passing only)
+	// Dist is the distribution view behind the averages: exact quantiles
+	// and a log₂ histogram of per-node/per-edge expected completion times,
+	// plus across-trial variance of the run-level averages.
+	Dist measure.Dist
 }
 
 // MeasureOptions configures a measurement run.
@@ -203,10 +208,16 @@ type MeasureOptions struct {
 	Parallelism int
 }
 
-// trialSeed is the algorithm seed of one trial: a counter-based derivation
-// from the master seed, independent of every other trial.
+// trialSeedDomain separates the algorithm-seed streams from every other
+// seedmix consumer of the same master seed.
+const trialSeedDomain = 0x545249414C // "TRIAL"
+
+// trialSeed is the algorithm seed of one trial: a counter-based SplitMix64
+// derivation from the master seed, independent of every other trial. A
+// plain additive stride would make master seeds s and s+stride share
+// shifted algorithm-seed streams; the seedmix finalizer breaks that.
 func trialSeed(seed uint64, trial int) uint64 {
-	return seed + uint64(trial)*0x9E3779B9
+	return seedmix.Derive(seed, trialSeedDomain, trial)
 }
 
 // trialIDStream returns the PRNG that draws trial's identifier permutation.
@@ -258,21 +269,21 @@ func Measure(g *graph.Graph, prob Problem, runner Runner, opt MeasureOptions) (*
 		if err := prob.Validate(g, res); err != nil {
 			return trialOutcome{err: fmt.Errorf("core: trial %d output invalid: %w", trial, err)}
 		}
+		// The one-sided measure reads the commit ledger directly; its error
+		// must fail the trial — a swallowed error would silently contribute
+		// 0 to OneSidedEdgeAvg and bias the mean toward 0.
+		var oneSided float64
+		if prob.Kind == runtime.NodeOutputs {
+			var err error
+			if oneSided, err = measure.OneSidedEdgeAvg(g, res); err != nil {
+				return trialOutcome{err: fmt.Errorf("core: trial %d: %w", trial, err)}
+			}
+		}
 		tm, err := measure.Completion(g, res, prob.Kind)
 		if err != nil {
 			return trialOutcome{err: fmt.Errorf("core: trial %d: %w", trial, err)}
 		}
-		out := trialOutcome{tm: tm, messages: res.Messages}
-		if prob.Kind == runtime.NodeOutputs {
-			if one, err := measure.OneSidedEdgeTimes(g, res); err == nil && len(one) > 0 {
-				var s float64
-				for _, x := range one {
-					s += float64(x)
-				}
-				out.oneSided = s / float64(len(one))
-			}
-		}
-		return out
+		return trialOutcome{tm: tm, messages: res.Messages, oneSided: oneSided}
 	}
 
 	newEngine := func() *runtime.Engine {
@@ -351,5 +362,6 @@ func Measure(g *graph.Graph, prob Problem, runner Runner, opt MeasureOptions) (*
 		WorstMax:        agg.WorstMax(),
 		OneSidedEdgeAvg: oneSidedSum / float64(trials),
 		Messages:        msgSum / float64(trials),
+		Dist:            agg.Dist(),
 	}, nil
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"avgloc/internal/alg/mis"
@@ -27,6 +28,21 @@ func TestMeasureRoundTrip(t *testing.T) {
 	if rep.OneSidedEdgeAvg > rep.EdgeAvg {
 		t.Fatalf("one-sided average exceeds two-sided: %+v", rep)
 	}
+	// The distribution block agrees with the scalar measures: quantiles
+	// are monotone and the max per-node mean is exactly EXP_V.
+	d := rep.Dist
+	if d.NodeQ.P50 > d.NodeQ.P90 || d.NodeQ.P90 > d.NodeQ.P99 || d.NodeQ.P99 > d.NodeQ.Max {
+		t.Fatalf("node quantiles not monotone: %+v", d.NodeQ)
+	}
+	if d.NodeQ.Max != rep.ExpNode {
+		t.Fatalf("dist node max %v != ExpNode %v", d.NodeQ.Max, rep.ExpNode)
+	}
+	if d.EdgeQ.Max != rep.ExpEdge {
+		t.Fatalf("dist edge max %v != ExpEdge %v", d.EdgeQ.Max, rep.ExpEdge)
+	}
+	if d.NodeAvgVar < 0 || d.EdgeAvgVar < 0 {
+		t.Fatalf("negative variance: %+v", d)
+	}
 }
 
 // badAlg claims MIS membership for everyone.
@@ -48,6 +64,35 @@ func TestMeasureRejectsInvalidOutputs(t *testing.T) {
 	g := graph.Complete(4)
 	if _, err := core.Measure(g, core.MIS, core.MessagePassing(badAlg{}), core.MeasureOptions{Trials: 1}); err == nil {
 		t.Fatal("invalid MIS accepted")
+	}
+}
+
+// TestMeasurePropagatesOneSidedError is the regression test for the
+// swallowed measure.OneSidedEdgeTimes error: a node-output trial whose
+// ledger leaves an edge with no committed endpoint must fail the run with
+// the one-sided error — not silently contribute 0 to OneSidedEdgeAvg. The
+// pre-fix code surfaced only the later completion-time error.
+func TestMeasurePropagatesOneSidedError(t *testing.T) {
+	g := graph.Path(2)
+	prob := core.Problem{
+		Name:     "test/accept-anything",
+		Kind:     runtime.NodeOutputs,
+		Validate: func(*graph.Graph, *runtime.Result) error { return nil },
+	}
+	runner := core.Charged("test/no-commits", func(g *graph.Graph, _ []int64, _ uint64) (*runtime.Result, error) {
+		return &runtime.Result{
+			NodeCommit: []int32{-1, -1},
+			EdgeCommit: []int32{-1},
+			NodeOut:    make([]any, 2),
+			EdgeOut:    make([]any, 1),
+		}, nil
+	})
+	_, err := core.Measure(g, prob, runner, core.MeasureOptions{Trials: 1})
+	if err == nil {
+		t.Fatal("uncommitted ledger accepted")
+	}
+	if !strings.Contains(err.Error(), "no committed endpoint") {
+		t.Fatalf("one-sided edge error not propagated; got: %v", err)
 	}
 }
 

@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+// TestTrialSeedStreamsIndependent is the regression test for the additive
+// trial-seed stride: with seed' = seed + 0x9E3779B9 (the old 32-bit stride)
+// the pre-fix derivation satisfied trialSeed(seed', t) == trialSeed(seed,
+// t+1) for every t — two master seeds sharing one algorithm-seed stream
+// shifted by one trial. The SplitMix64 derivation must not.
+func TestTrialSeedStreamsIndependent(t *testing.T) {
+	const trials = 128
+	for _, base := range []uint64{0, 1, 42, 1 << 40} {
+		for _, delta := range []uint64{0x9E3779B9, 1, 0x9E3779B97F4A7C15} {
+			shifted := base + delta
+			for tr := 0; tr < trials-1; tr++ {
+				if trialSeed(shifted, tr) == trialSeed(base, tr+1) {
+					t.Fatalf("seed %d and %d share a shifted stream at trial %d", base, shifted, tr)
+				}
+			}
+		}
+	}
+	// Distinct trials of one master seed still get distinct seeds.
+	seen := make(map[uint64]int)
+	for tr := 0; tr < trials; tr++ {
+		s := trialSeed(7, tr)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("trials %d and %d share algorithm seed %d", prev, tr, s)
+		}
+		seen[s] = tr
+	}
+}

@@ -7,6 +7,7 @@ package measure
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"avgloc/internal/graph"
 	"avgloc/internal/runtime"
@@ -86,6 +87,18 @@ func OneSidedEdgeTimes(g *graph.Graph, res *runtime.Result) ([]int32, error) {
 	return out, nil
 }
 
+// OneSidedEdgeAvg returns the mean one-sided edge time of one run. A graph
+// without edges has mean 0; an edge with no committed endpoint is an error,
+// which callers must propagate — a silently dropped trial would bias the
+// averaged measure toward 0.
+func OneSidedEdgeAvg(g *graph.Graph, res *runtime.Result) (float64, error) {
+	one, err := OneSidedEdgeTimes(g, res)
+	if err != nil {
+		return 0, err
+	}
+	return mean32(one), nil
+}
+
 // NodeAvg returns the node-averaged complexity of one run: (1/|V|) Σ T_v.
 func NodeAvg(t Times) float64 { return mean32(t.Node) }
 
@@ -124,6 +137,42 @@ func WeightedNodeAvg(t Times, w []float64) (float64, error) {
 	return num / den, nil
 }
 
+// Quantiles holds exact nearest-rank quantiles of a completion-time set:
+// for a sorted multiset of size k, the q-quantile is element ⌈q·k⌉−1. They
+// are computed by sorting, never by sketching, so tests can validate them
+// against an independent sort.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// HistBuckets is the fixed bucket count of the log₂ completion-time
+// histograms: bucket 0 holds times < 1, bucket i ≥ 1 holds times in
+// [2^(i−1), 2^i), and the last bucket absorbs everything larger. 16 buckets
+// cover worst cases up to 2^15 rounds, far beyond any simulated workload.
+const HistBuckets = 16
+
+// Dist summarizes the distribution of expected completion times across the
+// graph — the object behind the paper's averaged measures: most nodes
+// finish in O(1) rounds while a vanishing fraction pays the worst case
+// (Feuilloley's "how long does an ordinary node take?"). Quantiles and
+// histograms are taken over the per-node (per-edge) empirical means E[T_v]
+// (E[T_e]); the variances are across-trial sample variances of the run-level
+// averages, a direct read on how noisy the reported AVG estimates are.
+type Dist struct {
+	NodeQ    Quantiles          `json:"node_q"`
+	EdgeQ    Quantiles          `json:"edge_q"`
+	NodeHist [HistBuckets]int64 `json:"node_hist"`
+	EdgeHist [HistBuckets]int64 `json:"edge_hist"`
+	// NodeAvgVar and EdgeAvgVar are the unbiased sample variances of the
+	// per-trial node- and edge-averaged complexities (0 with fewer than 2
+	// trials).
+	NodeAvgVar float64 `json:"node_avg_var"`
+	EdgeAvgVar float64 `json:"edge_avg_var"`
+}
+
 // Agg aggregates the measures over independent randomized trials. For a
 // randomized algorithm A, Definition 1 takes expectations per node/edge;
 // Agg estimates them by empirical means.
@@ -135,6 +184,10 @@ type Agg struct {
 	runNodeAvg []float64
 	runEdgeAvg []float64
 	runWorst   []float64
+	// scratch is the shared sorted-scratch buffer of Dist: both quantile
+	// computations sort into it, so repeated Dist calls on a reused Agg
+	// allocate at most max(n, m) floats once.
+	scratch []float64
 }
 
 // NewAgg returns an aggregator for graphs with n nodes and m edges.
@@ -199,6 +252,86 @@ func (a *Agg) WorstMax() float64 {
 		m = math.Max(m, w)
 	}
 	return m
+}
+
+// Dist computes the distribution block over the recorded trials. The
+// quantile sorts share one scratch buffer owned by the aggregator.
+func (a *Agg) Dist() Dist {
+	var d Dist
+	if a.trials == 0 {
+		return d
+	}
+	d.NodeQ, d.NodeHist = a.distOf(a.nodeSum)
+	d.EdgeQ, d.EdgeHist = a.distOf(a.edgeSum)
+	d.NodeAvgVar = sampleVar(a.runNodeAvg)
+	d.EdgeAvgVar = sampleVar(a.runEdgeAvg)
+	return d
+}
+
+// distOf computes quantiles and the log₂ histogram of the per-element mean
+// times sums[i]/trials, sorting into the shared scratch buffer.
+func (a *Agg) distOf(sums []float64) (Quantiles, [HistBuckets]int64) {
+	var q Quantiles
+	var hist [HistBuckets]int64
+	if len(sums) == 0 {
+		return q, hist
+	}
+	if cap(a.scratch) < len(sums) {
+		a.scratch = make([]float64, len(sums))
+	}
+	xs := a.scratch[:len(sums)]
+	// Divide (not multiply by a reciprocal) so the means match ExpNode /
+	// ExpEdge bit for bit.
+	trials := float64(a.trials)
+	for i, s := range sums {
+		xs[i] = s / trials
+		hist[histBucket(xs[i])]++
+	}
+	sort.Float64s(xs)
+	q.P50 = quantileSorted(xs, 0.50)
+	q.P90 = quantileSorted(xs, 0.90)
+	q.P99 = quantileSorted(xs, 0.99)
+	q.Max = xs[len(xs)-1]
+	return q, hist
+}
+
+// histBucket maps a completion time to its log₂ bucket.
+func histBucket(t float64) int {
+	if t < 1 {
+		return 0
+	}
+	b := 1 + int(math.Floor(math.Log2(t)))
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// quantileSorted is the exact nearest-rank quantile of a sorted non-empty
+// slice: element ⌈q·k⌉−1.
+func quantileSorted(xs []float64, q float64) float64 {
+	i := int(math.Ceil(q*float64(len(xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// sampleVar is the unbiased sample variance (0 for fewer than 2 samples).
+func sampleVar(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := meanF(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
 }
 
 // WeightedNodeAvg estimates AVG^w_V for the given weights using per-node

@@ -165,6 +165,15 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		if data, err := os.ReadFile(s.path(key)); err == nil {
 			s.mu.Lock()
 			s.admit(key, data)
+			// A file that appeared after the startup scan (another writer,
+			// an operator copy) must join the disk bookkeeping here, or it
+			// would stay invisible to pruneDiskLocked forever and leak past
+			// the disk bound.
+			if !s.diskSet[key] {
+				s.diskSet[key] = true
+				s.diskKeys = append(s.diskKeys, key)
+				s.pruneDiskLocked()
+			}
 			s.stats.Hits++
 			s.mu.Unlock()
 			return append([]byte(nil), data...), true

@@ -127,6 +127,51 @@ func TestDiskTierBounded(t *testing.T) {
 	}
 }
 
+// TestDiskFallbackRegistersKey is the regression test for the out-of-band
+// file bug: a cache file created after the startup scan is admitted to
+// memory by Get, and must also join the disk-tier bookkeeping — otherwise
+// pruneDiskLocked can never evict it and the disk bound silently leaks.
+func TestDiskFallbackRegistersKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(1, dir) // disk bound = diskFactor = 16 files
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file appears after the startup scan (another writer, an operator
+	// copy) — the store learns of it only through the Get fallback.
+	outOfBand := "00ab-s3"
+	if err := os.WriteFile(s.path(outOfBand), []byte("out of band"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(outOfBand); !ok {
+		t.Fatal("disk fallback missed the out-of-band file")
+	}
+	s.mu.Lock()
+	registered := s.diskSet[outOfBand]
+	s.mu.Unlock()
+	if !registered {
+		t.Fatal("disk fallback admitted the file without registering it in the disk tier")
+	}
+	// Push the disk tier past its bound: the out-of-band file is the
+	// oldest registered key, so it must be evicted — before the fix it
+	// survived every prune.
+	for i := 0; i < diskFactor+4; i++ {
+		if err := s.Put(fmt.Sprintf("%03d-s0", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(s.path(outOfBand)); !os.IsNotExist(err) {
+		t.Fatalf("out-of-band file survived disk pruning (err=%v)", err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) > diskFactor {
+		t.Fatalf("disk tier holds %d files, want <= %d", len(files), diskFactor)
+	}
+}
+
 func TestInvalidKeysRejected(t *testing.T) {
 	s, err := New(2, t.TempDir())
 	if err != nil {

@@ -15,9 +15,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"avgloc/internal/core"
 	"avgloc/internal/registry"
+	"avgloc/internal/seedmix"
 )
 
 // DefaultTrials is the trial count used when a Spec leaves Trials unset.
@@ -123,8 +126,13 @@ func (s *Spec) Hash() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// The preamble versions the execution semantics, not just the spec
+	// syntax: v2 derives an independent measurement seed per sweep row
+	// (v1 fed every row the master seed, correlating their randomness), so
+	// v1 cache entries must never be served for v2 runs. Old disk entries
+	// simply miss and age out of the store.
 	var b strings.Builder
-	b.WriteString("scenario/v1\n")
+	b.WriteString("scenario/v2\n")
 	fmt.Fprintf(&b, "graph=%s\n", n.Graph)
 	keys := make([]string, 0, len(n.Params))
 	for k := range n.Params {
@@ -186,8 +194,11 @@ func (o *Outcome) MarshalStable() ([]byte, error) {
 
 // Options configures execution.
 type Options struct {
-	// Parallelism is forwarded to core.MeasureOptions.Parallelism. Reports
-	// are bit-identical at every level.
+	// Parallelism is the total worker budget of the run, split between
+	// concurrent sweep rows and each row's core.Measure trial fan-out
+	// (rowWorkers × trial parallelism ≤ Parallelism). Every random stream
+	// is derived from (seed, row, trial) alone and rows merge in row
+	// order, so outcomes are byte-identical at every level.
 	Parallelism int
 }
 
@@ -198,10 +209,89 @@ func graphStream(seed uint64, row int) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, 0xA11CE5+uint64(row)*0x9E3779B97F4A7C15))
 }
 
-// Run executes the scenario: builds each row's graph from the seed-derived
-// stream, resolves the algorithm from the registry, and measures. The
-// outcome depends only on (normalized spec, seed, registry contents) —
-// never on scheduling — so it can be cached under Key.
+// rowSeedDomain separates per-row measurement seeds from the per-trial
+// algorithm-seed streams core.Measure derives from them.
+const rowSeedDomain = 0x524F57 // "ROW"
+
+// rowSeed is the core.Measure master seed of sweep row i. Each row gets an
+// independent SplitMix64-derived seed: feeding the unmodified master seed
+// to every row would reuse identical per-trial identifier permutations and
+// algorithm seeds across rows, correlating points that the sweep treats as
+// independent measurements.
+func rowSeed(seed uint64, row int) uint64 {
+	return seedmix.Derive(seed, rowSeedDomain, row)
+}
+
+// runRows executes n row jobs on up to `workers` concurrent workers,
+// handing each job the leftover worker budget as its measurement
+// parallelism (the harness rowPool split). Jobs above the lowest failing
+// row index may be skipped: the caller merges in row order and stops at the
+// first error, so their results are never read. The returned error is the
+// lowest-indexed one, independent of scheduling.
+func runRows(n, workers int, job func(row, measurePar int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	rowWorkers := workers
+	if rowWorkers > n {
+		rowWorkers = n
+	}
+	measurePar := 1
+	if rowWorkers > 0 {
+		measurePar = workers / rowWorkers
+	}
+	if measurePar < 1 {
+		measurePar = 1
+	}
+	errs := make([]error, n)
+	if rowWorkers <= 1 {
+		for i := 0; i < n; i++ {
+			if errs[i] = job(i, measurePar); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		idx := make(chan int)
+		minFailed := int64(n)
+		var wg sync.WaitGroup
+		for w := 0; w < rowWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if int64(i) > atomic.LoadInt64(&minFailed) {
+						continue
+					}
+					if errs[i] = job(i, measurePar); errs[i] != nil {
+						for {
+							cur := atomic.LoadInt64(&minFailed)
+							if int64(i) >= cur || atomic.CompareAndSwapInt64(&minFailed, cur, int64(i)) {
+								break
+							}
+						}
+					}
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the scenario: each row builds its graph from a row-derived
+// seed stream and measures under a row-derived measurement seed, rows run
+// concurrently under the Options.Parallelism worker budget, and results
+// merge in row order. The outcome depends only on (normalized spec, seed,
+// registry contents) — never on scheduling — so it can be cached under Key.
 func Run(s *Spec, opt Options) (*Outcome, error) {
 	n, err := s.Normalize()
 	if err != nil {
@@ -228,22 +318,29 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 			rowParams = append(rowParams, v)
 		}
 	}
-	out := &Outcome{Spec: n, Hash: hash, Rows: make([]Row, 0, len(rowParams))}
-	for i, params := range rowParams {
-		g, err := fam.Build(params, graphStream(n.Seed, i))
+	rows := make([]Row, len(rowParams))
+	err = runRows(len(rowParams), opt.Parallelism, func(i, measurePar int) error {
+		// Each row builds its own graph from a row-derived generator
+		// stream, so the graph is identical at every parallelism level and
+		// at most rowWorkers graphs are live at once.
+		g, err := fam.Build(rowParams[i], graphStream(n.Seed, i))
 		if err != nil {
-			return nil, fmt.Errorf("scenario: row %d: %w", i, err)
+			return fmt.Errorf("scenario: row %d: %w", i, err)
 		}
 		runner, problem := entry.New()
 		rep, err := core.Measure(g, problem, runner, core.MeasureOptions{
 			Trials:      n.Trials,
-			Seed:        n.Seed,
-			Parallelism: opt.Parallelism,
+			Seed:        rowSeed(n.Seed, i),
+			Parallelism: measurePar,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("scenario: row %d (%s on %s): %w", i, n.Algorithm, g, err)
+			return fmt.Errorf("scenario: row %d (%s on %s): %w", i, n.Algorithm, g, err)
 		}
-		out.Rows = append(out.Rows, Row{Params: params, Report: rep})
+		rows[i] = Row{Params: rowParams[i], Report: rep}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Outcome{Spec: n, Hash: hash, Rows: rows}, nil
 }

@@ -3,7 +3,10 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 )
 
 func mustHash(t *testing.T, s *Spec) string {
@@ -146,6 +149,155 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(ab, bb) {
 		t.Fatalf("outcomes differ across runs/parallelism:\n%s\nvs\n%s", ab, bb)
+	}
+}
+
+// TestHashPreambleBumped: deriving per-row measurement seeds changed every
+// cached outcome, so the content hash must not collide with scenario/v1.
+// The constant is the v1 hash of this exact spec, computed on the pre-fix
+// code.
+func TestHashPreambleBumped(t *testing.T) {
+	s := &Spec{Graph: "regular", Params: map[string]float64{"n": 128, "d": 4}, Algorithm: "mis/luby", Trials: 3, Seed: 7}
+	const v1 = "cedf6bd71f01554e9befdb45b81ce512b0bc0c779014256fc83b174bcb55a638"
+	if h := mustHash(t, s); h == v1 {
+		t.Fatal("content hash still matches scenario/v1; cached v1 outcomes would be served for v2 semantics")
+	}
+}
+
+// TestSweepRowsDivergentRandomness is the regression test for the shared
+// per-row measurement seed: two sweep rows with identical parameters on a
+// deterministic graph family (cycles carry no generator randomness) must
+// still measure different random trials. Pre-fix, every row received the
+// unmodified master seed and the rows' reports were byte-identical.
+func TestSweepRowsDivergentRandomness(t *testing.T) {
+	spec := &Spec{
+		Graph:     "cycle",
+		Algorithm: "mis/luby",
+		Trials:    3,
+		Seed:      9,
+		Sweep:     &Sweep{Param: "n", Values: []float64{64, 64}},
+	}
+	out, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(out.Rows))
+	}
+	a, err := json.Marshal(out.Rows[0].Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(out.Rows[1].Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatalf("rows with equal params reused identical trial randomness:\n%s", a)
+	}
+}
+
+// TestRunByteIdenticalAcrossParallelism is the determinism contract of the
+// concurrent row scheduler: a ≥8-row sweep marshals byte-identically at
+// every worker budget, including budgets that split between rows and
+// per-row trials.
+func TestRunByteIdenticalAcrossParallelism(t *testing.T) {
+	spec := &Spec{
+		Graph:     "regular",
+		Params:    map[string]float64{"d": 4},
+		Algorithm: "mis/luby",
+		Trials:    4,
+		Seed:      21,
+		Sweep:     &Sweep{Param: "n", Values: []float64{32, 40, 48, 56, 64, 72, 80, 88}},
+	}
+	base, err := Run(spec, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 3, 4, 8, 16, 64} {
+		out, err := Run(spec, Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		got, err := out.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("parallelism %d produced different bytes than sequential", par)
+		}
+	}
+}
+
+// TestRunRowsConcurrent proves rows really execute concurrently: two jobs
+// rendezvous — each waits for the other to have started — which can only
+// complete when both run at once.
+func TestRunRowsConcurrent(t *testing.T) {
+	started := make([]chan struct{}, 2)
+	for i := range started {
+		started[i] = make(chan struct{})
+	}
+	err := runRows(2, 2, func(row, _ int) error {
+		close(started[row])
+		select {
+		case <-started[1-row]:
+			return nil
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("row %d never saw its peer start: rows are sequential", row)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRowsBudgetSplit: the worker budget splits between row workers and
+// per-row measurement parallelism, and never exceeds the total.
+func TestRunRowsBudgetSplit(t *testing.T) {
+	cases := []struct {
+		rows, workers, wantPar int
+	}{
+		{8, 1, 1},   // one worker: rows run sequentially
+		{2, 8, 4},   // 2 row workers × 4 trial workers
+		{8, 8, 1},   // all budget to row fan-out
+		{3, 8, 2},   // 3 row workers, 8/3 = 2 each
+		{8, 0, 1},   // no budget = sequential
+		{1, 16, 16}, // single row gets everything
+	}
+	for _, c := range cases {
+		var mu sync.Mutex
+		got := map[int]bool{}
+		if err := runRows(c.rows, c.workers, func(_, measurePar int) error {
+			mu.Lock()
+			got[measurePar] = true
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || !got[c.wantPar] {
+			t.Fatalf("rows=%d workers=%d: measure parallelism %v, want %d", c.rows, c.workers, got, c.wantPar)
+		}
+	}
+}
+
+// TestRunRowsFirstErrorWins: the lowest-indexed error is returned whatever
+// the scheduling.
+func TestRunRowsFirstErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := runRows(8, workers, func(row, _ int) error {
+			if row >= 2 {
+				return fmt.Errorf("row %d failed", row)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "row 2 failed" {
+			t.Fatalf("workers=%d: got %v, want row 2's error", workers, err)
+		}
 	}
 }
 

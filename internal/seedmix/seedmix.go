@@ -1,0 +1,31 @@
+// Package seedmix derives independent 64-bit stream seeds from a master
+// seed and a counter. Plain additive strides (seed + i*C) are not safe for
+// this: two master seeds that differ by the stride constant share the same
+// stream shifted by one counter step. Derive pushes (seed, domain, counter)
+// through the SplitMix64 finalizer, whose full avalanche breaks every such
+// affine relation between related master seeds.
+package seedmix
+
+// golden is the 64-bit golden-ratio constant used as the counter stride
+// inside Derive (the SplitMix64 state increment).
+const golden = 0x9E3779B97F4A7C15
+
+// Mix64 is the SplitMix64 finalizer: a bijective mix of the full 64-bit
+// input into an avalanche-quality output.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Derive returns the i-th stream seed of (seed, domain). The master seed is
+// finalized before the counter is added, so seeds s and s+golden (or s+1, or
+// any other affine relative) do not yield shifted copies of one another's
+// streams; domain separates independent uses of the same master seed (e.g.
+// per-trial algorithm seeds vs per-row sweep seeds).
+func Derive(seed, domain uint64, i int) uint64 {
+	return Mix64(Mix64(seed^domain) + uint64(i)*golden)
+}

@@ -1,0 +1,40 @@
+package seedmix
+
+import "testing"
+
+func TestMix64Bijective(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for x := uint64(0); x < 4096; x++ {
+		y := Mix64(x)
+		if prev, dup := seen[y]; dup {
+			t.Fatalf("Mix64 collision: %d and %d both map to %d", prev, x, y)
+		}
+		seen[y] = x
+	}
+}
+
+// TestDeriveBreaksAffineShifts is the property the additive stride lacked:
+// for master seeds s and s+C (any C, in particular the stride constant),
+// the derived streams must not be shifted copies of each other.
+func TestDeriveBreaksAffineShifts(t *testing.T) {
+	const trials = 64
+	for _, delta := range []uint64{1, 0x9E3779B9, golden} {
+		s1, s2 := uint64(42), uint64(42)+delta
+		for i := 0; i < trials-1; i++ {
+			if Derive(s1, 0, i+1) == Derive(s2, 0, i) {
+				t.Fatalf("delta %#x: stream of s+delta is stream of s shifted by one at counter %d", delta, i)
+			}
+			if Derive(s1, 0, i) == Derive(s2, 0, i) {
+				t.Fatalf("delta %#x: streams collide at counter %d", delta, i)
+			}
+		}
+	}
+}
+
+func TestDeriveDomainsSeparate(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		if Derive(7, 1, i) == Derive(7, 2, i) {
+			t.Fatalf("domains 1 and 2 collide at counter %d", i)
+		}
+	}
+}
