@@ -3,9 +3,11 @@ package avgloc_test
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
 	"sync"
 	"testing"
 
+	"avgloc/internal/campaign"
 	"avgloc/internal/harness"
 	"avgloc/internal/measure"
 	"avgloc/internal/scenario"
@@ -102,3 +104,32 @@ func benchScenarioSweep(b *testing.B, parallelism int) {
 
 func BenchmarkScenarioSweep8RowsP1(b *testing.B) { benchScenarioSweep(b, 1) }
 func BenchmarkScenarioSweep8RowsP4(b *testing.B) { benchScenarioSweep(b, 4) }
+
+// benchCampaignPaper runs the shipped paper-claims campaign end to end —
+// scenario execution, growth-class fitting, verdicts — at the given worker
+// budget; the P1/P4 pair tracks the campaign scheduler's speedup (reports
+// are byte-identical at every level).
+func benchCampaignPaper(b *testing.B, parallelism int) {
+	data, err := os.ReadFile("campaigns/paper.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := campaign.Parse(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(c, campaign.Options{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Rejected != 0 || rep.Confirmed == 0 {
+			b.Fatalf("implausible verdicts: %+v", rep)
+		}
+	}
+}
+
+func BenchmarkCampaignPaperP1(b *testing.B) { benchCampaignPaper(b, 1) }
+func BenchmarkCampaignPaperP4(b *testing.B) { benchCampaignPaper(b, 4) }

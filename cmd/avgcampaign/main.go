@@ -1,0 +1,172 @@
+// Command avgcampaign runs a declarative experiment campaign — named
+// scenario specs with hypothesis blocks (internal/campaign) — and renders
+// the verdict table judging the paper's asymptotic claims against the
+// measured sweeps.
+//
+// Usage:
+//
+//	avgcampaign [flags] campaign.json
+//	avgcampaign -json campaigns/paper.json
+//	avgcampaign -server http://localhost:8080 campaigns/paper.json
+//
+// By default the campaign executes in-process under -parallelism workers,
+// optionally fronted by a persistent result cache (-cache-dir, shared with
+// avgserve's on-disk format). With -server the campaign is submitted to a
+// running avgserve's POST /v1/campaigns instead: per-scenario completions
+// stream to stderr as they arrive and the final verdict renders the same
+// way, so both modes produce identical stdout for identical data.
+//
+// Exit status: 0 on success, 1 on execution errors; with -strict also 1
+// when any hypothesis is REJECTED or INCONCLUSIVE (for CI gates).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	goruntime "runtime"
+	"strings"
+
+	"avgloc/internal/campaign"
+	"avgloc/internal/resultstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avgcampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	parallelism := flag.Int("parallelism", 0, "worker budget over scenarios, rows and trials (0 = GOMAXPROCS); verdicts are bit-identical at any level")
+	jsonOut := flag.Bool("json", false, "print the full campaign report as JSON instead of the verdict table")
+	server := flag.String("server", "", "submit to a running avgserve (POST /v1/campaigns) instead of executing in-process")
+	cacheDir := flag.String("cache-dir", "", "optional persistent result cache directory (in-process mode)")
+	cacheSize := flag.Int("cache-size", 256, "in-memory result cache entries (in-process mode)")
+	strict := flag.Bool("strict", false, "exit non-zero when any hypothesis is REJECTED or INCONCLUSIVE")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: avgcampaign [flags] campaign.json")
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	var rep *campaign.Report
+	if *server != "" {
+		rep, err = runRemote(*server, data)
+	} else {
+		rep, err = runLocal(data, *parallelism, *cacheDir, *cacheSize)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		out, err := rep.MarshalStable()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(out)
+	} else {
+		fmt.Print(rep.String())
+	}
+	if *strict && rep.Rejected+rep.Inconclusive > 0 {
+		return fmt.Errorf("%d rejected, %d inconclusive", rep.Rejected, rep.Inconclusive)
+	}
+	return nil
+}
+
+func runLocal(data []byte, parallelism int, cacheDir string, cacheSize int) (*campaign.Report, error) {
+	c, err := campaign.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	var store *resultstore.Store
+	if cacheDir != "" {
+		if store, err = resultstore.New(cacheSize, cacheDir); err != nil {
+			return nil, err
+		}
+	}
+	if parallelism <= 0 {
+		parallelism = goruntime.GOMAXPROCS(0)
+	}
+	return campaign.Run(c, campaign.Options{
+		Parallelism: parallelism,
+		Store:       store,
+		OnScenario: func(r campaign.ScenarioRun) {
+			status := "done"
+			if r.Err != "" {
+				status = "error: " + r.Err
+			} else if r.Cached {
+				status = "done (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "scenario %s: %s\n", r.Name, status)
+		},
+	})
+}
+
+// event is one NDJSON line of the server's campaign stream.
+type event struct {
+	Type   string           `json:"type"`
+	Name   string           `json:"name,omitempty"`
+	Status string           `json:"status,omitempty"`
+	Cached bool             `json:"cached,omitempty"`
+	Error  string           `json:"error,omitempty"`
+	Report *campaign.Report `json:"report,omitempty"`
+}
+
+func runRemote(server string, data []byte) (*campaign.Report, error) {
+	url := strings.TrimSuffix(server, "/") + "/v1/campaigns"
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("server returned %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var rep *campaign.Report
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("parsing stream: %w", err)
+		}
+		switch ev.Type {
+		case "scenario":
+			status := ev.Status
+			if ev.Error != "" {
+				status = "error: " + ev.Error
+			} else if ev.Cached {
+				status += " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "scenario %s: %s\n", ev.Name, status)
+		case "verdict":
+			rep = ev.Report
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("stream ended without a verdict")
+	}
+	return rep, nil
+}

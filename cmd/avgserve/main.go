@@ -11,9 +11,12 @@
 // Endpoints:
 //
 //	GET  /healthz                 liveness + cache statistics
+//	GET  /v1/metrics              cache hit/miss counters, in-flight jobs, run totals
 //	GET  /v1/registry             graph families and algorithms, JSON
 //	POST /v1/run                  run a scenario spec synchronously
 //	POST /v1/batch                run up to 32 specs; streams NDJSON completions
+//	POST /v1/campaigns            run a hypothesis campaign; streams scenario
+//	                              completions (campaign order) then the verdict report
 //	POST /v1/jobs                 submit a scenario, returns a job id
 //	GET  /v1/jobs/{id}            poll job status
 //	GET  /v1/jobs/{id}/result     fetch a finished job's report
@@ -22,6 +25,7 @@
 // Example:
 //
 //	curl -s localhost:8080/v1/run -d '{"graph":"regular","params":{"n":1024,"d":6},"algorithm":"mis/luby","trials":5,"seed":1}'
+//	curl -sN localhost:8080/v1/campaigns -d @campaigns/paper.json
 package main
 
 import (

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"sync"
 
+	"avgloc/internal/campaign"
 	"avgloc/internal/registry"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
@@ -51,6 +52,14 @@ type server struct {
 	order    []string        // job ids in submission order, for pruning
 	inflight map[string]*job // cache key -> queued/running job, for dedup
 	nextID   int
+
+	// Traffic counters behind GET /v1/metrics; store hit/miss counts live
+	// in the store's own Stats.
+	jobsTotal      int64
+	runsCompleted  int64
+	runsFailed     int64
+	runsCached     int64
+	campaignsTotal int64
 }
 
 // newServer starts `workers` pool goroutines and returns the ready server.
@@ -75,9 +84,11 @@ func newServer(store *resultstore.Store, workers, par int) *server {
 		go s.worker()
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleCampaign)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -113,9 +124,11 @@ func (s *server) execute(j *job) {
 	if err != nil {
 		j.Status = statusError
 		j.Error = err.Error()
+		s.runsFailed++
 	} else {
 		j.result = data
 		j.Status = statusDone
+		s.runsCompleted++
 	}
 	delete(s.inflight, j.Key)
 	s.mu.Unlock()
@@ -134,6 +147,7 @@ func (s *server) setStatus(j *job, status, errMsg string) {
 // Caller holds s.mu.
 func (s *server) newJobLocked(key string, spec *scenario.Spec) *job {
 	s.nextID++
+	s.jobsTotal++
 	j := &job{
 		ID:     fmt.Sprintf("job-%d", s.nextID),
 		Status: statusQueued,
@@ -172,6 +186,7 @@ func (s *server) submit(spec *scenario.Spec) (*job, error) {
 		j.result = data
 		j.Status = statusDone
 		j.Cached = true
+		s.runsCached++
 		s.mu.Unlock()
 		close(j.done)
 		return j, nil
@@ -241,6 +256,36 @@ func (s *server) decodeSpec(w http.ResponseWriter, r *http.Request) *scenario.Sp
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "store": s.store.Stats()})
+}
+
+// metrics is the GET /v1/metrics document: store traffic (hits, misses,
+// puts, evictions), the live in-flight job count and completed-run totals
+// — the observables behind the cache-dedupe guarantees, so a client can
+// verify that a repeated campaign really executed nothing.
+type metrics struct {
+	Store          resultstore.Stats `json:"store"`
+	InFlight       int               `json:"in_flight"`
+	JobsTotal      int64             `json:"jobs_total"`
+	RunsCompleted  int64             `json:"runs_completed"`
+	RunsFailed     int64             `json:"runs_failed"`
+	RunsCached     int64             `json:"runs_cached"`
+	CampaignsTotal int64             `json:"campaigns_total"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.store.Stats()
+	s.mu.Lock()
+	m := metrics{
+		Store:          st,
+		InFlight:       len(s.inflight),
+		JobsTotal:      s.jobsTotal,
+		RunsCompleted:  s.runsCompleted,
+		RunsFailed:     s.runsFailed,
+		RunsCached:     s.runsCached,
+		CampaignsTotal: s.campaignsTotal,
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, m)
 }
 
 // handleRegistry lists every graph family and algorithm entry.
@@ -364,6 +409,123 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// campaignScenarioEvent is one per-scenario NDJSON line of the campaign
+// stream; campaignVerdictEvent is its final line.
+type campaignScenarioEvent struct {
+	Type   string `json:"type"` // "scenario"
+	Index  int    `json:"index"`
+	Name   string `json:"name"`
+	Status string `json:"status"` // done | error
+	Key    string `json:"key,omitempty"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+type campaignVerdictEvent struct {
+	Type   string           `json:"type"` // "verdict"
+	Report *campaign.Report `json:"report"`
+}
+
+// handleCampaign runs a declarative campaign (internal/campaign): every
+// scenario goes through the same submit path as /v1/run — deduping against
+// the result store, in-flight jobs and identical specs within the campaign
+// — then the hypotheses are evaluated on the outcomes. The response
+// streams one NDJSON scenario line per item in campaign order (index
+// order, unlike /v1/batch's completion order, so responses are
+// deterministic) followed by a final verdict object carrying the full
+// report.
+func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var c campaign.Campaign
+	if !decodeJSON(w, r, "campaign", &c) {
+		return
+	}
+	if err := c.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.campaignsTotal++
+	s.mu.Unlock()
+
+	// Submit everything up front. Items whose key was already submitted by
+	// an earlier item share that item's job — deterministically, instead of
+	// racing the store against the worker pool.
+	n := len(c.Scenarios)
+	jobs := make([]*job, n)
+	errs := make([]error, n)
+	byKey := make(map[string]*job, n)
+	for i := range c.Scenarios {
+		key, err := c.Scenarios[i].Spec.Key()
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if j, ok := byKey[key]; ok {
+			jobs[i] = j
+			continue
+		}
+		if jobs[i], errs[i] = s.submit(&c.Scenarios[i].Spec); errs[i] == nil {
+			byKey[key] = jobs[i]
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			return false // client went away; jobs keep running and stay cached
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	runs := make([]campaign.ScenarioRun, n)
+	for i := range c.Scenarios {
+		run := campaign.ScenarioRun{Index: i, Name: c.Scenarios[i].Name}
+		if errs[i] != nil {
+			run.Err = errs[i].Error()
+		} else {
+			j := jobs[i]
+			<-j.done
+			s.mu.Lock()
+			status, result, errMsg, cached := j.Status, j.result, j.Error, j.Cached
+			s.mu.Unlock()
+			run.Key, run.Cached = j.Key, cached
+			if status == statusError {
+				run.Err = errMsg
+			} else {
+				var out scenario.Outcome
+				if err := json.Unmarshal(result, &out); err != nil {
+					run.Err = fmt.Sprintf("decoding cached outcome: %v", err)
+				} else {
+					run.Outcome = &out
+				}
+			}
+		}
+		runs[i] = run
+		ev := campaignScenarioEvent{
+			Type: "scenario", Index: i, Name: run.Name,
+			Status: statusDone, Key: run.Key, Cached: run.Cached, Error: run.Err,
+		}
+		if run.Err != "" {
+			ev.Status = statusError
+		}
+		if !emit(ev) {
+			return
+		}
+	}
+	rep, err := campaign.Evaluate(&c, runs)
+	if err != nil {
+		log.Printf("avgserve: evaluating campaign: %v", err)
+		return
+	}
+	emit(campaignVerdictEvent{Type: "verdict", Report: rep})
 }
 
 // handleSubmit enqueues a scenario and returns the job id immediately.

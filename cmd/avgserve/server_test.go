@@ -305,6 +305,213 @@ func TestBatchRejectsBadRequests(t *testing.T) {
 	}
 }
 
+// campaignJSON is a small two-scenario campaign with one hypothesis pair:
+// luby on cycles is at most log-ish and below det by a wide ratio.
+const campaignJSON = `{"name":"smoke","scenarios":[
+	{"name":"rand","spec":{"graph":"cycle","algorithm":"mis/luby","trials":2,"seed":7,
+		"sweep":{"param":"n","values":[32,48,64,96,128]}},
+		"hypothesis":{"measure":"node_avg","expect":"log","compare_to":"det","op":"le","ratio":10}},
+	{"name":"det","spec":{"graph":"cycle","algorithm":"mis/det-coloring","trials":1,"seed":7,
+		"sweep":{"param":"n","values":[32,48,64,96,128]}}},
+	{"name":"rand-dup","spec":{"graph":"cycle","algorithm":"mis/luby","trials":2,"seed":7,
+		"sweep":{"param":"n","values":[32,48,64,96,128]}}}
+]}`
+
+// parseCampaignStream splits a campaign NDJSON response into scenario
+// events and the final verdict report.
+func parseCampaignStream(t *testing.T, body []byte) ([]map[string]any, map[string]any) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	var events []map[string]any
+	var verdict map[string]any
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		switch m["type"] {
+		case "scenario":
+			events = append(events, m)
+		case "verdict":
+			verdict = m
+		default:
+			t.Fatalf("unknown event type in %q", l)
+		}
+	}
+	return events, verdict
+}
+
+// TestCampaignEndpoint: POST /v1/campaigns streams one scenario line per
+// item in campaign order, dedupes identical specs onto one key, and closes
+// with a verdict report; a repeated submission is served from the cache
+// and yields the identical verdict report.
+func TestCampaignEndpoint(t *testing.T) {
+	ts := newTestServer(t, "")
+	resp, body := post(t, ts.URL+"/v1/campaigns", campaignJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	events, verdict := parseCampaignStream(t, body)
+	if len(events) != 3 {
+		t.Fatalf("got %d scenario events, want 3: %s", len(events), body)
+	}
+	wantNames := []string{"rand", "det", "rand-dup"}
+	for i, ev := range events {
+		if int(ev["index"].(float64)) != i || ev["name"] != wantNames[i] {
+			t.Fatalf("event %d out of campaign order: %v", i, ev)
+		}
+		if ev["status"] != "done" || ev["key"] == "" {
+			t.Fatalf("event %d not done: %v", i, ev)
+		}
+	}
+	if events[0]["key"] != events[2]["key"] {
+		t.Fatal("identical specs got different keys")
+	}
+	if verdict == nil {
+		t.Fatalf("no verdict event: %s", body)
+	}
+	rep := verdict["report"].(map[string]any)
+	if rep["confirmed"].(float64) != 1 || rep["rejected"].(float64) != 0 {
+		t.Fatalf("verdicts: %v", rep)
+	}
+
+	// The duplicate must have joined one execution: two unique runs total.
+	_, mbody := get(t, ts.URL+"/v1/metrics")
+	var m struct {
+		RunsCompleted int64 `json:"runs_completed"`
+		RunsCached    int64 `json:"runs_cached"`
+	}
+	if err := json.Unmarshal(mbody, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.RunsCompleted != 2 {
+		t.Fatalf("runs_completed = %d, want 2 (intra-campaign dedupe)", m.RunsCompleted)
+	}
+
+	// Repeat: everything cached, verdict report byte-identical.
+	_, body2 := post(t, ts.URL+"/v1/campaigns", campaignJSON)
+	events2, verdict2 := parseCampaignStream(t, body2)
+	for i, ev := range events2 {
+		if ev["cached"] != true {
+			t.Fatalf("repeat event %d missed the cache: %v", i, ev)
+		}
+	}
+	v1, _ := json.Marshal(verdict["report"])
+	v2JSON, _ := json.Marshal(verdict2["report"])
+	// Cached flags inside the report differ by design; compare verdicts.
+	var r1, r2 struct {
+		Confirmed    int `json:"confirmed"`
+		Rejected     int `json:"rejected"`
+		Inconclusive int `json:"inconclusive"`
+		Scenarios    []struct {
+			Name    string `json:"name"`
+			Verdict string `json:"verdict"`
+			Detail  string `json:"detail"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal(v1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(v2JSON, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Confirmed != r2.Confirmed || len(r1.Scenarios) != len(r2.Scenarios) {
+		t.Fatal("repeat campaign changed the verdict counts")
+	}
+	for i := range r1.Scenarios {
+		if r1.Scenarios[i] != r2.Scenarios[i] {
+			t.Fatalf("repeat campaign changed scenario %d: %+v vs %+v", i, r1.Scenarios[i], r2.Scenarios[i])
+		}
+	}
+	_, mbody = get(t, ts.URL+"/v1/metrics")
+	var m2 struct {
+		RunsCompleted int64 `json:"runs_completed"`
+		RunsCached    int64 `json:"runs_cached"`
+	}
+	if err := json.Unmarshal(mbody, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.RunsCompleted != 2 {
+		t.Fatalf("repeat campaign executed scenarios: runs_completed %d, want still 2", m2.RunsCompleted)
+	}
+	if m2.RunsCached < 2 {
+		t.Fatalf("repeat campaign runs_cached = %d, want >= 2", m2.RunsCached)
+	}
+}
+
+// TestCampaignResponsesByteIdenticalAcrossParallelism: two fresh servers at
+// different worker/parallelism settings return byte-identical campaign
+// streams for the same submission.
+func TestCampaignResponsesByteIdenticalAcrossParallelism(t *testing.T) {
+	var bodies [][]byte
+	for _, cfg := range []struct{ workers, par int }{{1, 1}, {4, 16}} {
+		store, err := resultstore.New(64, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(newServer(store, cfg.workers, cfg.par))
+		resp, body := post(t, ts.URL+"/v1/campaigns", campaignJSON)
+		ts.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d par=%d: status %d: %s", cfg.workers, cfg.par, resp.StatusCode, body)
+		}
+		bodies = append(bodies, body)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("campaign responses differ across parallelism:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+}
+
+func TestCampaignRejectsBadRequests(t *testing.T) {
+	ts := newTestServer(t, "")
+	if resp, _ := post(t, ts.URL+"/v1/campaigns", `{"scenarios":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty campaign: status %d", resp.StatusCode)
+	}
+	bad := `{"scenarios":[{"name":"a","spec":{"graph":"cycle","algorithm":"mis/luby"},
+		"hypothesis":{"measure":"latency","expect":"const"}}]}`
+	resp, body := post(t, ts.URL+"/v1/campaigns", bad)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "measure") {
+		t.Fatalf("bad measure: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/campaigns", `not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint: the counters move with traffic — a miss then a hit.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, "")
+	read := func() metrics {
+		t.Helper()
+		_, body := get(t, ts.URL+"/v1/metrics")
+		var m metrics
+		if err := json.Unmarshal(body, &m); err != nil {
+			t.Fatalf("bad metrics %s: %v", body, err)
+		}
+		return m
+	}
+	m0 := read()
+	if m0.JobsTotal != 0 || m0.RunsCompleted != 0 {
+		t.Fatalf("fresh server has traffic: %+v", m0)
+	}
+	post(t, ts.URL+"/v1/run", specJSON)
+	m1 := read()
+	if m1.RunsCompleted != 1 || m1.RunsCached != 0 || m1.JobsTotal != 1 {
+		t.Fatalf("after one run: %+v", m1)
+	}
+	post(t, ts.URL+"/v1/run", specJSON)
+	m2 := read()
+	if m2.RunsCompleted != 1 || m2.RunsCached != 1 || m2.Store.Hits < 1 {
+		t.Fatalf("after repeat run: %+v", m2)
+	}
+	if m2.InFlight != 0 {
+		t.Fatalf("idle server reports %d in-flight jobs", m2.InFlight)
+	}
+}
+
 // TestJobPruning bounds the job index: finished jobs beyond the retention
 // cap are forgotten while the newest stay pollable.
 func TestJobPruning(t *testing.T) {

@@ -12,8 +12,11 @@
 //	internal/registry    — named graph families and algorithms (data-driven workload selection)
 //	internal/scenario    — declarative JSON scenario specs with canonical content hashes
 //	internal/resultstore — LRU result cache (optional disk persistence) keyed by (hash, seed)
+//	internal/fit         — growth-class classification of measured sweeps
+//	internal/campaign    — hypothesis campaigns: scenarios + claims → verdicts
 //	internal/harness     — the experiments; also run via cmd/avgbench
 //	cmd/avgserve         — HTTP measurement service over the scenario layer
+//	cmd/avgcampaign      — run a campaign file, render the verdict table
 //	cmd/localsim         — one scenario from the command line, registry-driven
 //	examples/            — runnable walkthroughs
 //
@@ -62,18 +65,47 @@
 // # Scenario service
 //
 // internal/registry names every graph family (all generators, including
-// Barabási–Albert and random caterpillar trees) and every algorithm, so
+// Barabási–Albert and random caterpillar trees, and the Section 4 kmw /
+// kmw-matching lower-bound constructions) and every algorithm, so
 // workloads are selected by data instead of by Go code; cmd/localsim and
 // the harness resolve their runners through it. internal/scenario turns a
 // JSON spec — graph + params, algorithm, trials, seed, optional sweep —
 // into measured reports, with a canonical content hash that ignores field
 // ordering and labels. Each sweep row measures under its own derived seed
-// (the hash preamble is scenario/v2; v1 disk cache entries simply miss and
-// age out). cmd/avgserve serves that layer over HTTP behind a bounded
-// worker pool, caching each outcome's exact byte rendering in
-// internal/resultstore under (hash, seed): identical submissions are
-// answered from the cache bit-identically, at any worker count. POST
-// /v1/batch accepts up to 32 specs in one request, dedupes them against the
-// store, in-flight jobs and each other, and streams one NDJSON completion
-// line per spec.
+// and records the realized graph size (the hash preamble is scenario/v3;
+// older disk cache entries simply miss and age out). cmd/avgserve serves
+// that layer over HTTP behind a bounded worker pool, caching each
+// outcome's exact byte rendering in internal/resultstore under (hash,
+// seed): identical submissions are answered from the cache
+// bit-identically, at any worker count. POST /v1/batch accepts up to 32
+// specs in one request, dedupes them against the store, in-flight jobs
+// and each other, and streams one NDJSON completion line per spec. GET
+// /v1/metrics exposes the cache and run counters that make the dedupe
+// observable.
+//
+// # Campaigns and asymptotic fits
+//
+// The analysis layer turns sweeps into verdicts on the paper's bounds.
+// internal/fit least-squares fits a measured (size, value) table against
+// the candidate growth classes Θ(1), Θ(log* n), Θ(log log n),
+// Θ(log n / log log n), Θ(log n) and Θ(n^α) as value ≈ a + b·f(n). The
+// classes nest (every growth model contains the constant fit at slope
+// zero), so selection is two-staged: an F-test against the constant model
+// decides whether the data grows at all, then the significant growth
+// models compete on degree-of-freedom-adjusted residuals — the free
+// exponent of Θ(n^α) costs a parameter — with statistical ties resolved
+// toward the slowest-growing class. A confidence gate (minimum rows,
+// minimum size spread, residual cap, separation margin) refuses a verdict
+// the data cannot support. internal/campaign executes a declarative list
+// of named scenarios, each optionally carrying a hypothesis: an expected
+// upper-bound class for one measure, and/or a per-row ratio comparison
+// against another scenario (rand-vs-det deltas; with compare_measure, a
+// same-run node-vs-edge gap, which dedupes to a single execution).
+// Verdicts are CONFIRMED / REJECTED / INCONCLUSIVE; reports marshal
+// byte-identically at every parallelism level. cmd/avgcampaign runs a
+// campaign file locally (or against a server via -server) and
+// campaigns/paper.json ships the paper's E1/E3-vs-E4/E9-style claims;
+// POST /v1/campaigns streams per-scenario completions in campaign order
+// followed by the verdict report, deduped through the same result store
+// as every other endpoint.
 package avgloc

@@ -1,0 +1,57 @@
+// Campaign walkthrough: build a hypothesis campaign in Go — the same
+// document cmd/avgcampaign reads from JSON — run it, and inspect how the
+// asymptotic-fit analyzer judges the paper's claims. Two scenarios sweep
+// MIS algorithms over growing cycles: the randomized one claims a Θ(1)
+// node average and that it beats the deterministic one (the [Feu20]
+// comparison of E10); the deterministic one is the comparison's reference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"avgloc/internal/campaign"
+	"avgloc/internal/fit"
+	"avgloc/internal/scenario"
+)
+
+func main() {
+	sweep := &scenario.Sweep{Param: "n", Values: []float64{256, 1024, 4096, 16384}}
+	c := &campaign.Campaign{
+		Name: "cycle-mis",
+		Scenarios: []campaign.Item{
+			{
+				Name: "rand",
+				Spec: scenario.Spec{Graph: "cycle", Algorithm: "mis/luby", Trials: 4, Seed: 1, Sweep: sweep},
+				Hypothesis: &campaign.Hypothesis{
+					Measure:   campaign.MeasureNodeAvg,
+					Expect:    fit.Const, // [Feu20]: randomized MIS is node-averaged O(1)
+					CompareTo: "det",     // and no slower than the deterministic algorithm
+					Op:        "le",
+				},
+			},
+			{
+				Name: "det",
+				Spec: scenario.Spec{Graph: "cycle", Algorithm: "mis/det-coloring", Trials: 1, Seed: 1, Sweep: sweep},
+			},
+		},
+	}
+
+	rep, err := campaign.Run(c, campaign.Options{Parallelism: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.String())
+
+	// The report carries the full fit: every candidate growth class with
+	// its residual and F-statistic against the constant model.
+	for _, s := range rep.Scenarios {
+		if s.Fit == nil {
+			continue
+		}
+		fmt.Printf("\n%s: best fit %s (margin %.1f, %d rows)\n", s.Name, s.Fit.Best, s.Fit.Margin, s.Fit.Rows)
+		for _, m := range s.Fit.Models {
+			fmt.Printf("  %-10s rmse %.4f  F %.1f\n", m.Class, m.RMSE, m.F)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPaperCampaign runs the shipped campaigns/paper.json at its quick
+// scale and pins the acceptance verdicts: the E1 ruling-set node-averaged
+// O(log* n) hypothesis and the E3-vs-E4 rand/det matching comparison must
+// come out CONFIRMED, and no paper claim may be REJECTED.
+func TestPaperCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick-scale paper campaign")
+	}
+	data, err := os.ReadFile(filepath.Join("..", "..", "campaigns", "paper.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(c, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 0 {
+		t.Fatalf("paper claims rejected:\n%s", rep.String())
+	}
+	byName := map[string]ScenarioResult{}
+	for _, s := range rep.Scenarios {
+		byName[s.Name] = s
+	}
+	e1 := byName["e1-rulingset-rand22"]
+	if e1.Verdict != Confirmed {
+		t.Fatalf("E1 ruling-set O(log* n) hypothesis: %s (%s)", e1.Verdict, e1.Detail)
+	}
+	if e1.Fit == nil || !e1.Fit.Conclusive {
+		t.Fatalf("E1 fit not conclusive: %+v", e1.Fit)
+	}
+	e3 := byName["e3-rand-matching"]
+	if e3.Verdict != Confirmed {
+		t.Fatalf("E3-vs-E4 rand/det matching comparison: %s (%s)", e3.Verdict, e3.Detail)
+	}
+	// The two e9 items share one spec and must have deduped onto one key.
+	if byName["e9-kmw-matching-node"].Key != byName["e9-kmw-matching-edge"].Key {
+		t.Fatal("identical e9 specs did not share a cache key")
+	}
+}

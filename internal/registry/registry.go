@@ -20,6 +20,9 @@ import (
 	"avgloc/internal/alg/ruling"
 	"avgloc/internal/core"
 	"avgloc/internal/graph"
+	"avgloc/internal/lb/basegraph"
+	"avgloc/internal/lb/kmwmatch"
+	"avgloc/internal/lb/lift"
 )
 
 // Param declares one numeric parameter of a graph family.
@@ -282,6 +285,52 @@ func graphFamilies() []GraphFamily {
 			},
 		},
 		{
+			Name: "kmw", Doc: "random order-q lift of the KMW cluster-tree base graph G_k(β) (Section 4)", Random: true,
+			Params: []Param{
+				intParam("k", "cluster tree parameter k", 1, 0, 2),
+				intParam("beta", "cluster size parameter β (even)", 4, 4, 8),
+				intParam("q", "random lift order", 4, 1, 64),
+			},
+			build: func(v Values, rng *rand.Rand) (*graph.Graph, error) {
+				base, err := kmwBase(v)
+				if err != nil {
+					return nil, err
+				}
+				if err := checkEdgeBudget("kmw", float64(base.G.M())*v["q"]); err != nil {
+					return nil, err
+				}
+				inst, err := lift.BuildInstance(base, v.Int("q"), rng)
+				if err != nil {
+					return nil, err
+				}
+				return inst.G, nil
+			},
+		},
+		{
+			Name: "kmw-matching", Doc: "doubled order-q KMW lift joined by a perfect matching (Theorem 17)", Random: true,
+			Params: []Param{
+				intParam("k", "cluster tree parameter k", 1, 0, 2),
+				intParam("beta", "cluster size parameter β (even)", 4, 4, 8),
+				intParam("q", "random lift order", 2, 1, 64),
+			},
+			build: func(v Values, rng *rand.Rand) (*graph.Graph, error) {
+				base, err := kmwBase(v)
+				if err != nil {
+					return nil, err
+				}
+				// Doubled lift: 2q copies of every base edge plus the
+				// q·n(base) inter-copy matching edges.
+				if err := checkEdgeBudget("kmw-matching", (2*float64(base.G.M())+float64(base.G.N()))*v["q"]); err != nil {
+					return nil, err
+				}
+				inst, err := kmwmatch.Build(base, v.Int("q"), rng)
+				if err != nil {
+					return nil, err
+				}
+				return inst.G, nil
+			},
+		},
+		{
 			Name: "bipartite-regular", Doc: "a bipartite d-regular graph on 2n nodes (union of matchings)", Random: true,
 			Params: []Param{
 				intParam("n", "side size (graph has 2n nodes)", 512, 1, 1<<19),
@@ -299,6 +348,17 @@ func graphFamilies() []GraphFamily {
 			},
 		},
 	}
+}
+
+// kmwBase builds the Section 4 base graph G_k(β) for the kmw families;
+// the declared per-parameter bounds cannot express β's evenness, so it is
+// checked here.
+func kmwBase(v Values) (*basegraph.Instance, error) {
+	beta := v.Int("beta")
+	if beta%2 != 0 {
+		return nil, fmt.Errorf("registry: kmw needs beta even, got %d", beta)
+	}
+	return basegraph.Build(basegraph.Params{K: v.Int("k"), Beta: beta})
 }
 
 func algEntries() []AlgEntry {

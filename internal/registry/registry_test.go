@@ -98,10 +98,46 @@ func TestNormalizeValidation(t *testing.T) {
 	}
 }
 
+// TestKMWFamilies: the Section 4 lower-bound constructions are reachable by
+// name with validated parameters, so ctgen output and campaign specs can
+// reference them.
+func TestKMWFamilies(t *testing.T) {
+	fam, err := FindGraph("kmw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fam.Build(Values{"beta": 5}, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("odd beta accepted")
+	}
+	g, err := fam.Build(Values{"k": 1, "beta": 4, "q": 3}, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := kmwBase(Values{"k": 1, "beta": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3*base.G.N() || g.M() != 3*base.G.M() {
+		t.Fatalf("order-3 lift of %v has wrong size %v", base.G, g)
+	}
+
+	mm, err := FindGraph("kmw-matching")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := mm.Build(Values{"k": 1, "beta": 4, "q": 3}, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.N() != 2*g.N() || dg.M() != 2*g.M()+g.N() {
+		t.Fatalf("doubled lift of %v has wrong size %v", g, dg)
+	}
+}
+
 // TestRandomFamiliesDeterministic checks equal seeds give identical graphs
 // through the registry path (the property the result cache depends on).
 func TestRandomFamiliesDeterministic(t *testing.T) {
-	for _, name := range []string{"tree", "caterpillar", "ba", "gnp", "regular", "bipartite-regular"} {
+	for _, name := range []string{"tree", "caterpillar", "ba", "gnp", "regular", "bipartite-regular", "kmw", "kmw-matching"} {
 		fam, err := FindGraph(name)
 		if err != nil {
 			t.Fatal(err)

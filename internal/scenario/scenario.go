@@ -47,10 +47,12 @@ type Sweep struct {
 // Spec is the declarative description of one measurement workload.
 type Spec struct {
 	// Name is a free-form label; it does not affect the content hash.
-	Name      string          `json:"name,omitempty"`
-	Graph     string          `json:"graph"`
-	Params    registry.Values `json:"params,omitempty"`
-	Algorithm string          `json:"algorithm"`
+	Name   string          `json:"name,omitempty"`
+	Graph  string          `json:"graph"`
+	Params registry.Values `json:"params,omitempty"`
+	// Algorithm is required to run; omitempty lets graph-only spec
+	// fragments (ctgen's registry-vocabulary output) render cleanly.
+	Algorithm string `json:"algorithm,omitempty"`
 	// Trials is the number of independent trials per row (default
 	// DefaultTrials).
 	Trials int `json:"trials,omitempty"`
@@ -126,13 +128,15 @@ func (s *Spec) Hash() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	// The preamble versions the execution semantics, not just the spec
-	// syntax: v2 derives an independent measurement seed per sweep row
-	// (v1 fed every row the master seed, correlating their randomness), so
-	// v1 cache entries must never be served for v2 runs. Old disk entries
+	// The preamble versions the execution semantics AND the outcome
+	// rendering: v2 derived an independent measurement seed per sweep row
+	// (v1 fed every row the master seed, correlating their randomness);
+	// v3 added the realized graph size (Row.Nodes/Edges) that the campaign
+	// layer fits growth classes against — a cached v2 document would
+	// deserialize with zero sizes and poison every fit. Old disk entries
 	// simply miss and age out of the store.
 	var b strings.Builder
-	b.WriteString("scenario/v2\n")
+	b.WriteString("scenario/v3\n")
 	fmt.Fprintf(&b, "graph=%s\n", n.Graph)
 	keys := make([]string, 0, len(n.Params))
 	for k := range n.Params {
@@ -166,10 +170,15 @@ func (s *Spec) Key() (string, error) {
 	return fmt.Sprintf("%s-s%d", h, s.Seed), nil
 }
 
-// Row is one measured point of an outcome: the effective graph parameters
-// and the aggregated report.
+// Row is one measured point of an outcome: the effective graph parameters,
+// the realized graph size, and the aggregated report. Nodes/Edges are the
+// built graph's actual size — for families whose node count is indirect
+// (kmw's k/beta/q, grid's rows×cols) they are the only size record, and
+// they are the x-axis the campaign layer fits growth classes against.
 type Row struct {
 	Params registry.Values `json:"params"`
+	Nodes  int             `json:"nodes"`
+	Edges  int             `json:"edges"`
 	Report *core.Report    `json:"report"`
 }
 
@@ -336,7 +345,7 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 		if err != nil {
 			return fmt.Errorf("scenario: row %d (%s on %s): %w", i, n.Algorithm, g, err)
 		}
-		rows[i] = Row{Params: rowParams[i], Report: rep}
+		rows[i] = Row{Params: rowParams[i], Nodes: g.N(), Edges: g.M(), Report: rep}
 		return nil
 	})
 	if err != nil {

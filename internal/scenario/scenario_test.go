@@ -152,15 +152,44 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
-// TestHashPreambleBumped: deriving per-row measurement seeds changed every
-// cached outcome, so the content hash must not collide with scenario/v1.
-// The constant is the v1 hash of this exact spec, computed on the pre-fix
-// code.
+// TestHashPreambleBumped: every change to the execution semantics or the
+// outcome rendering must move the content hash, or stale cached documents
+// would be served for the new format. The constants are the v1 and v2
+// hashes of this exact spec, computed on the respective pre-bump code (v2
+// lacked Row.Nodes/Edges; v1 additionally shared one measurement seed
+// across sweep rows).
 func TestHashPreambleBumped(t *testing.T) {
 	s := &Spec{Graph: "regular", Params: map[string]float64{"n": 128, "d": 4}, Algorithm: "mis/luby", Trials: 3, Seed: 7}
-	const v1 = "cedf6bd71f01554e9befdb45b81ce512b0bc0c779014256fc83b174bcb55a638"
-	if h := mustHash(t, s); h == v1 {
-		t.Fatal("content hash still matches scenario/v1; cached v1 outcomes would be served for v2 semantics")
+	old := map[string]string{
+		"v1": "cedf6bd71f01554e9befdb45b81ce512b0bc0c779014256fc83b174bcb55a638",
+		"v2": "a323dd9c47d4b8eb1b35d9751a5c96b8ba4179c733e8f31eedbd2f0834270c98",
+	}
+	h := mustHash(t, s)
+	for version, stale := range old {
+		if h == stale {
+			t.Fatalf("content hash still matches scenario/%s; stale cached outcomes would be served for the current format", version)
+		}
+	}
+}
+
+// TestRowsCarryGraphSize: rows record the realized graph size, the x-axis
+// the campaign layer fits growth classes against.
+func TestRowsCarryGraphSize(t *testing.T) {
+	spec := &Spec{
+		Graph:     "cycle",
+		Algorithm: "mis/luby",
+		Trials:    1,
+		Seed:      5,
+		Sweep:     &Sweep{Param: "n", Values: []float64{32, 64}},
+	}
+	out, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{32, 64} {
+		if out.Rows[i].Nodes != want || out.Rows[i].Edges != want {
+			t.Fatalf("row %d size n=%d m=%d, want cycle n=m=%d", i, out.Rows[i].Nodes, out.Rows[i].Edges, want)
+		}
 	}
 }
 
