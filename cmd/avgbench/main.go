@@ -4,7 +4,7 @@
 // Usage:
 //
 //	avgbench                         # every experiment at quick scale
-//	avgbench -exp E5,E6              # selected experiments
+//	avgbench -only E1,E3             # selected experiments (unknown ids list the catalogue)
 //	avgbench -full -seed 7           # full-scale sweeps
 //	avgbench -parallel 1             # force sequential execution
 //	avgbench -json BENCH_results.json
@@ -26,7 +26,6 @@ import (
 	"hash/fnv"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"avgloc/internal/harness"
@@ -70,7 +69,8 @@ type benchFile struct {
 }
 
 func run() error {
-	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	onlyFlag := flag.String("only", "", "comma-separated experiment ids to run, e.g. E1,E3 (default: all)")
+	expFlag := flag.String("exp", "", "deprecated alias of -only")
 	full := flag.Bool("full", false, "full-scale sweeps (minutes instead of seconds)")
 	seed := flag.Uint64("seed", 42, "master seed")
 	parallel := flag.Int("parallel", 0, "worker budget per experiment (0 = GOMAXPROCS, 1 = sequential)")
@@ -81,15 +81,21 @@ func run() error {
 	if *full {
 		opt.Scale = harness.Full
 	}
+	filter := *onlyFlag
+	if filter == "" {
+		filter = *expFlag
+	} else if *expFlag != "" {
+		return fmt.Errorf("use -only or -exp, not both")
+	}
+	// Resolving the filter up front fails fast on typos — with the
+	// catalogue in the error — instead of erroring mid-sweep.
+	experiments, err := harness.Select(filter)
+	if err != nil {
+		return err
+	}
 	var selected []string
-	if *expFlag == "" {
-		for _, e := range harness.All() {
-			selected = append(selected, e.ID)
-		}
-	} else {
-		for _, id := range strings.Split(*expFlag, ",") {
-			selected = append(selected, strings.TrimSpace(id))
-		}
+	for _, e := range experiments {
+		selected = append(selected, e.ID)
 	}
 
 	scaleName := "quick"

@@ -14,7 +14,12 @@
 // avgserve's on-disk format). With -server the campaign is submitted to a
 // running avgserve's POST /v1/campaigns instead: per-scenario completions
 // stream to stderr as they arrive and the final verdict renders the same
-// way, so both modes produce identical stdout for identical data.
+// way, so both modes produce identical stdout for identical data. With
+// -fleet-listen the in-process run serves the internal/fleet worker
+// protocol on the given address and dispatches every scenario across
+// attached avgworker processes — one shared fleet budget for the whole
+// campaign — falling back to local execution while none are attached;
+// fleet execution is byte-identical, so all three modes agree.
 //
 // Exit status: 0 on success, 1 on execution errors; with -strict also 1
 // when any hypothesis is REJECTED or INCONCLUSIVE (for CI gates).
@@ -25,12 +30,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	goruntime "runtime"
 	"strings"
 
 	"avgloc/internal/campaign"
+	"avgloc/internal/fleet"
 	"avgloc/internal/resultstore"
 )
 
@@ -45,6 +52,7 @@ func run() error {
 	parallelism := flag.Int("parallelism", 0, "worker budget over scenarios, rows and trials (0 = GOMAXPROCS); verdicts are bit-identical at any level")
 	jsonOut := flag.Bool("json", false, "print the full campaign report as JSON instead of the verdict table")
 	server := flag.String("server", "", "submit to a running avgserve (POST /v1/campaigns) instead of executing in-process")
+	fleetListen := flag.String("fleet-listen", "", "serve the fleet worker protocol on this address and dispatch scenarios across attached avgworkers (in-process mode)")
 	cacheDir := flag.String("cache-dir", "", "optional persistent result cache directory (in-process mode)")
 	cacheSize := flag.Int("cache-size", 256, "in-memory result cache entries (in-process mode)")
 	strict := flag.Bool("strict", false, "exit non-zero when any hypothesis is REJECTED or INCONCLUSIVE")
@@ -61,7 +69,7 @@ func run() error {
 	if *server != "" {
 		rep, err = runRemote(*server, data)
 	} else {
-		rep, err = runLocal(data, *parallelism, *cacheDir, *cacheSize)
+		rep, err = runLocal(data, *parallelism, *cacheDir, *cacheSize, *fleetListen)
 	}
 	if err != nil {
 		return err
@@ -82,7 +90,7 @@ func run() error {
 	return nil
 }
 
-func runLocal(data []byte, parallelism int, cacheDir string, cacheSize int) (*campaign.Report, error) {
+func runLocal(data []byte, parallelism int, cacheDir string, cacheSize int, fleetListen string) (*campaign.Report, error) {
 	c, err := campaign.Parse(data)
 	if err != nil {
 		return nil, err
@@ -96,7 +104,7 @@ func runLocal(data []byte, parallelism int, cacheDir string, cacheSize int) (*ca
 	if parallelism <= 0 {
 		parallelism = goruntime.GOMAXPROCS(0)
 	}
-	return campaign.Run(c, campaign.Options{
+	opts := campaign.Options{
 		Parallelism: parallelism,
 		Store:       store,
 		OnScenario: func(r campaign.ScenarioRun) {
@@ -108,7 +116,27 @@ func runLocal(data []byte, parallelism int, cacheDir string, cacheSize int) (*ca
 			}
 			fmt.Fprintf(os.Stderr, "scenario %s: %s\n", r.Name, status)
 		},
-	})
+	}
+	if fleetListen != "" {
+		// One coordinator for the whole campaign: every scenario's chunks
+		// share its queue, workers and (with -cache-dir) chunk cache.
+		coord := fleet.NewCoordinator(fleet.Config{
+			Store: store,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		ln, err := net.Listen("tcp", fleetListen)
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fleet: worker protocol on %s (attach: avgworker -coordinator http://<host>:<port>)\n", ln.Addr())
+		opts.Execute = coord.Execute
+	}
+	return campaign.Run(c, opts)
 }
 
 // event is one NDJSON line of the server's campaign stream.

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	avgserve -addr :8080 -workers 4 -parallelism 2 -cache-size 1024 -cache-dir /var/cache/avgserve
+//	avgserve -addr :8080 -fleet            # + avgworker -coordinator http://host:8080
+//
+// In -fleet mode the server additionally mounts the internal/fleet
+// coordinator under /fleet/v1/ and transparently dispatches /v1/run,
+// /v1/batch and /v1/campaigns executions across attached avgworker
+// processes, falling back to local execution while none are attached.
+// Responses are byte-identical either way (see internal/fleet).
 //
 // Endpoints:
 //
@@ -21,6 +28,8 @@
 //	GET  /v1/jobs/{id}            poll job status
 //	GET  /v1/jobs/{id}/result     fetch a finished job's report
 //	GET  /v1/reports/{key}        fetch a cached report by scenario key
+//	POST /fleet/v1/*              worker protocol (-fleet mode; see internal/fleet)
+//	GET  /fleet/v1/stats          coordinator queue/worker snapshot (-fleet mode)
 //
 // Example:
 //
@@ -35,6 +44,7 @@ import (
 	"net/http"
 	"os"
 
+	"avgloc/internal/fleet"
 	"avgloc/internal/resultstore"
 )
 
@@ -51,14 +61,31 @@ func run() error {
 	parallelism := flag.Int("parallelism", 1, "per-scenario worker budget over sweep rows and trials (bit-identical at any level)")
 	cacheSize := flag.Int("cache-size", 1024, "in-memory result cache entries")
 	cacheDir := flag.String("cache-dir", "", "optional directory for persistent result cache")
+	fleetMode := flag.Bool("fleet", false, "mount the fleet coordinator and dispatch runs across attached avgworkers")
+	chunkTrials := flag.Int("fleet-chunk-trials", fleet.DefaultChunkTrials, "trials per dispatched chunk (stable sharding; chunk-cache keys depend on it)")
+	heartbeat := flag.Duration("fleet-heartbeat", fleet.DefaultHeartbeatTimeout, "lease expiry without a worker heartbeat; silent workers deregister after twice this")
+	stealAfter := flag.Duration("fleet-steal-after", fleet.DefaultStealAfter, "lease age before an idle worker may duplicate a straggling chunk")
 	flag.Parse()
 
 	store, err := resultstore.New(*cacheSize, *cacheDir)
 	if err != nil {
 		return err
 	}
-	srv := newServer(store, *workers, *parallelism)
-	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q)",
-		*addr, *workers, *parallelism, *cacheSize, *cacheDir)
+	cfg := serverConfig{store: store, workers: *workers, par: *parallelism}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if *fleetMode {
+		cfg.coord = fleet.NewCoordinator(fleet.Config{
+			ChunkTrials:      *chunkTrials,
+			HeartbeatTimeout: *heartbeat,
+			StealAfter:       *stealAfter,
+			Store:            store,
+			Logf:             log.Printf,
+		})
+	}
+	srv := newServerCfg(cfg)
+	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q fleet=%v)",
+		*addr, *workers, *parallelism, *cacheSize, *cacheDir, *fleetMode)
 	return http.ListenAndServe(*addr, srv)
 }

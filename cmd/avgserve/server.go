@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"avgloc/internal/campaign"
+	"avgloc/internal/fleet"
 	"avgloc/internal/registry"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
@@ -39,13 +40,16 @@ type job struct {
 }
 
 // server routes HTTP requests into a bounded worker pool over the scenario
-// layer, with the result store in front of every execution.
+// layer, with the result store in front of every execution and, in fleet
+// mode, a fleet.Coordinator behind it.
 type server struct {
-	mux    *http.ServeMux
-	store  *resultstore.Store
-	par    int // scenario.Options.Parallelism: per-run budget over rows × trials
-	queue  chan *job
-	retain int // finished jobs kept for polling before pruning
+	mux      *http.ServeMux
+	store    *resultstore.Store
+	par      int // scenario.Options.Parallelism: per-run budget over rows × trials
+	queue    chan *job
+	queueCap int
+	retain   int // finished jobs kept for polling before pruning
+	coord    *fleet.Coordinator
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -59,7 +63,19 @@ type server struct {
 	runsCompleted  int64
 	runsFailed     int64
 	runsCached     int64
+	runsFleet      int64 // completed runs executed by the worker fleet
 	campaignsTotal int64
+}
+
+// serverConfig parameterizes newServerCfg; zero values select defaults.
+type serverConfig struct {
+	store *resultstore.Store
+	// workers is the pool size (0 = off: jobs queue but never execute —
+	// only tests use that, to exercise the overload path deterministically).
+	workers  int
+	par      int
+	queueCap int                // dispatch queue bound (default 256)
+	coord    *fleet.Coordinator // nil = local execution only
 }
 
 // newServer starts `workers` pool goroutines and returns the ready server.
@@ -71,16 +87,25 @@ func newServer(store *resultstore.Store, workers, par int) *server {
 	if workers < 1 {
 		workers = 1
 	}
+	return newServerCfg(serverConfig{store: store, workers: workers, par: par})
+}
+
+func newServerCfg(cfg serverConfig) *server {
+	if cfg.queueCap <= 0 {
+		cfg.queueCap = 256
+	}
 	s := &server{
 		mux:      http.NewServeMux(),
-		store:    store,
-		par:      par,
-		queue:    make(chan *job, 256),
+		store:    cfg.store,
+		par:      cfg.par,
+		queue:    make(chan *job, cfg.queueCap),
+		queueCap: cfg.queueCap,
 		retain:   4096,
+		coord:    cfg.coord,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 	}
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cfg.workers; w++ {
 		go s.worker()
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -93,6 +118,9 @@ func newServer(store *resultstore.Store, workers, par int) *server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
+	if s.coord != nil {
+		s.mux.Handle("/fleet/v1/", s.coord.Handler())
+	}
 	return s
 }
 
@@ -104,14 +132,17 @@ func (s *server) worker() {
 	}
 }
 
-// execute runs one job: scenario.Run, then a write-through Put. The stored
-// bytes are the response bytes, so repeat requests are served
-// bit-identically. A persistence failure degrades to a cache miss on the
-// next request; it never fails a computed result.
+// execute runs one job: the fleet coordinator when workers are attached
+// (falling back to local execution on fleet infrastructure failures —
+// byte-identity makes the fallback invisible to clients), scenario.Run
+// otherwise, then a write-through Put. The stored bytes are the response
+// bytes, so repeat requests are served bit-identically. A persistence
+// failure degrades to a cache miss on the next request; it never fails a
+// computed result.
 func (s *server) execute(j *job) {
 	s.setStatus(j, statusRunning, "")
+	out, viaFleet, err := s.runSpec(j.spec)
 	var data []byte
-	out, err := scenario.Run(j.spec, scenario.Options{Parallelism: s.par})
 	if err == nil {
 		data, err = out.MarshalStable()
 	}
@@ -129,10 +160,30 @@ func (s *server) execute(j *job) {
 		j.result = data
 		j.Status = statusDone
 		s.runsCompleted++
+		if viaFleet {
+			s.runsFleet++
+		}
 	}
 	delete(s.inflight, j.Key)
 	s.mu.Unlock()
 	close(j.done)
+}
+
+// runSpec executes one scenario, dispatching to the fleet when workers are
+// attached. viaFleet reports whether the fleet produced the outcome.
+func (s *server) runSpec(spec *scenario.Spec) (out *scenario.Outcome, viaFleet bool, err error) {
+	if s.coord != nil && s.coord.Workers() > 0 {
+		out, err = s.coord.RunScenario(spec)
+		if err == nil {
+			return out, true, nil
+		}
+		if !errors.Is(err, fleet.ErrUnavailable) {
+			return nil, false, err // deterministic execution error: local retry would re-derive it
+		}
+		log.Printf("avgserve: fleet unavailable (%v), running locally", err)
+	}
+	out, err = scenario.Run(spec, scenario.Options{Parallelism: s.par})
+	return out, false, err
 }
 
 func (s *server) setStatus(j *job, status, errMsg string) {
@@ -216,7 +267,8 @@ func (s *server) submit(spec *scenario.Spec) (*job, error) {
 }
 
 // errQueueFull is transient overload, reported as 503 (retryable) rather
-// than 400 (permanent).
+// than 400 (permanent). The submit path never blocks the handler on a full
+// queue — it fails fast here.
 var errQueueFull = errors.New("avgserve: job queue full, retry later")
 
 // submitStatus maps a submit error to its HTTP status.
@@ -225,6 +277,20 @@ func submitStatus(err error) int {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
+}
+
+// retryAfterSeconds is the Retry-After hint on 503 responses: the queue
+// drains at scenario-execution speed, so "soon" is the honest answer.
+const retryAfterSeconds = "1"
+
+// submitError reports a submit failure, adding Retry-After on overload so
+// well-behaved clients back off instead of hammering a full queue.
+func submitError(w http.ResponseWriter, err error) {
+	status := submitStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	httpError(w, status, err)
 }
 
 // decodeJSON strictly decodes a bounded request body into v. Unknown
@@ -259,30 +325,52 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // metrics is the GET /v1/metrics document: store traffic (hits, misses,
-// puts, evictions), the live in-flight job count and completed-run totals
-// — the observables behind the cache-dedupe guarantees, so a client can
-// verify that a repeated campaign really executed nothing.
+// puts, evictions), the live in-flight job count, dispatch-queue depth,
+// completed-run totals, and — in fleet mode — the coordinator's queue and
+// per-worker chunk counters. These are the observables behind the
+// cache-dedupe and fleet-dispatch guarantees: a client can verify that a
+// repeated campaign executed nothing, or that a run really fanned out
+// across workers.
 type metrics struct {
 	Store          resultstore.Stats `json:"store"`
 	InFlight       int               `json:"in_flight"`
+	QueueDepth     int               `json:"queue_depth"`
+	QueueCap       int               `json:"queue_cap"`
 	JobsTotal      int64             `json:"jobs_total"`
 	RunsCompleted  int64             `json:"runs_completed"`
 	RunsFailed     int64             `json:"runs_failed"`
 	RunsCached     int64             `json:"runs_cached"`
+	RunsFleet      int64             `json:"runs_fleet"`
 	CampaignsTotal int64             `json:"campaigns_total"`
+	// Fleet is present only in -fleet mode: attached-worker count plus the
+	// coordinator's chunk queue and per-worker counters.
+	FleetWorkers int          `json:"fleet_workers,omitempty"`
+	Fleet        *fleet.Stats `json:"fleet,omitempty"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.store.Stats()
+	var fs *fleet.Stats
+	if s.coord != nil {
+		snap := s.coord.Stats()
+		fs = &snap
+	}
 	s.mu.Lock()
 	m := metrics{
 		Store:          st,
 		InFlight:       len(s.inflight),
+		QueueDepth:     len(s.queue),
+		QueueCap:       s.queueCap,
 		JobsTotal:      s.jobsTotal,
 		RunsCompleted:  s.runsCompleted,
 		RunsFailed:     s.runsFailed,
 		RunsCached:     s.runsCached,
+		RunsFleet:      s.runsFleet,
 		CampaignsTotal: s.campaignsTotal,
+		Fleet:          fs,
+	}
+	if fs != nil {
+		m.FleetWorkers = len(fs.Workers)
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, m)
@@ -306,7 +394,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.submit(spec)
 	if err != nil {
-		httpError(w, submitStatus(err), err)
+		submitError(w, err)
 		return
 	}
 	<-j.done
@@ -536,7 +624,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.submit(spec)
 	if err != nil {
-		httpError(w, submitStatus(err), err)
+		submitError(w, err)
 		return
 	}
 	s.mu.Lock()

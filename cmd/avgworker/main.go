@@ -1,0 +1,62 @@
+// Command avgworker is a stateless fleet worker: it registers with an
+// avgserve coordinator running in -fleet mode, pulls trial-range chunks of
+// scenario specs, executes them through the registry/scenario machinery,
+// and streams the per-trial partials back. Any number of workers may join
+// or leave at any time; the merged results are byte-identical to a
+// single-process run regardless (see internal/fleet).
+//
+// Usage:
+//
+//	avgworker -coordinator http://127.0.0.1:8080 -parallelism 4
+//
+// The worker retries while the coordinator is unreachable and
+// re-registers transparently after a coordinator restart, so start order
+// does not matter. SIGINT/SIGTERM stop it; chunks it held simply requeue
+// once their heartbeats lapse.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"avgloc/internal/fleet"
+)
+
+func main() {
+	if err := run(); err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "avgworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	coordinator := flag.String("coordinator", "http://127.0.0.1:8080", "avgserve -fleet base URL")
+	name := flag.String("name", "", "worker label shown in fleet stats (default host-pid)")
+	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-chunk trial fan-out (no effect on merged bytes)")
+	poll := flag.Duration("poll", 0, "idle re-poll interval (0 = coordinator-advertised)")
+	flag.Parse()
+
+	label := *name
+	if label == "" {
+		host, _ := os.Hostname()
+		label = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &fleet.Worker{
+		Base:        *coordinator,
+		Name:        label,
+		Parallelism: *parallelism,
+		Poll:        *poll,
+		Logf:        log.Printf,
+	}
+	log.Printf("avgworker: %s -> %s (parallelism=%d poll=%v)", label, *coordinator, *parallelism, *poll)
+	return w.Run(ctx)
+}

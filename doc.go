@@ -14,8 +14,10 @@
 //	internal/resultstore — LRU result cache (optional disk persistence) keyed by (hash, seed)
 //	internal/fit         — growth-class classification of measured sweeps
 //	internal/campaign    — hypothesis campaigns: scenarios + claims → verdicts
+//	internal/fleet       — distributed chunk execution with bit-identical merge
 //	internal/harness     — the experiments; also run via cmd/avgbench
-//	cmd/avgserve         — HTTP measurement service over the scenario layer
+//	cmd/avgserve         — HTTP measurement service over the scenario layer (-fleet: coordinator)
+//	cmd/avgworker        — stateless fleet worker process
 //	cmd/avgcampaign      — run a campaign file, render the verdict table
 //	cmd/localsim         — one scenario from the command line, registry-driven
 //	examples/            — runnable walkthroughs
@@ -82,6 +84,24 @@
 // and each other, and streams one NDJSON completion line per spec. GET
 // /v1/metrics exposes the cache and run counters that make the dedupe
 // observable.
+//
+// # Fleet
+//
+// internal/fleet lifts the same determinism one level up, from goroutines
+// to processes: core.MeasureRange executes an absolute trial range of a
+// measurement, scenario.RunChunk runs such a range of one sweep row on
+// any machine, and scenario.MergeChunks reassembles any partition of a
+// scenario's (row, trial) space into the exact bytes scenario.Run
+// produces — core.Measure is itself implemented as MeasureRange +
+// MergeTrials, so the equivalence holds by construction. The fleet
+// Coordinator shards specs into chunks and leases them to cmd/avgworker
+// processes over a pull-based HTTP protocol with heartbeats,
+// retry-on-worker-loss, work stealing for stragglers, and chunk-level
+// write-through caching (scenario.ChunkKey in the shared result store),
+// so a crash re-run only re-executes lost chunks. avgserve's -fleet mode
+// dispatches /v1/run, /v1/batch and /v1/campaigns through it whenever
+// workers are attached and falls back to local execution otherwise;
+// clients cannot tell the difference, byte for byte.
 //
 // # Campaigns and asymptotic fits
 //

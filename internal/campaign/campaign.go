@@ -461,6 +461,13 @@ type Options struct {
 	// OnScenario, if non-nil, receives one completion event per scenario,
 	// in campaign order, as results become available.
 	OnScenario func(ScenarioRun)
+	// Execute, if non-nil, replaces the local scenario executor on cache
+	// misses: it receives the normalized spec and the per-scenario slice of
+	// the Parallelism budget. The fleet coordinator plugs in here, so every
+	// scenario of a campaign draws on one shared fleet budget instead of
+	// each opening its own; because fleet execution is byte-identical to
+	// local, the report does not depend on which executor ran.
+	Execute func(spec *scenario.Spec, parallelism int) (*scenario.Outcome, error)
 }
 
 // Run executes the campaign and evaluates its hypotheses. Scenarios with
@@ -520,6 +527,12 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 		perScenario = 1
 	}
 
+	runSpec := opt.Execute
+	if runSpec == nil {
+		runSpec = func(spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
+			return scenario.Run(spec, scenario.Options{Parallelism: parallelism})
+		}
+	}
 	execute := func(key string) {
 		s := slots[key]
 		defer close(s.done)
@@ -533,7 +546,7 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 				// A corrupt cache entry falls through to a fresh run.
 			}
 		}
-		out, err := scenario.Run(bySlot[key], scenario.Options{Parallelism: perScenario})
+		out, err := runSpec(bySlot[key], perScenario)
 		if err != nil {
 			s.err = err
 			return

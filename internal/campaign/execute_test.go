@@ -1,0 +1,50 @@
+package campaign
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"avgloc/internal/scenario"
+)
+
+// TestExecuteHookIsTransparent: plugging a custom executor (the fleet
+// coordinator's slot) into Options.Execute must not change the report
+// bytes when the executor computes the same outcomes, and it must receive
+// exactly the deduped unique specs.
+func TestExecuteHookIsTransparent(t *testing.T) {
+	c := &Campaign{
+		Name: "exec-hook",
+		Scenarios: []Item{
+			{Name: "a", Spec: scenario.Spec{Graph: "cycle", Params: map[string]float64{"n": 24}, Algorithm: "mis/luby", Trials: 2, Seed: 3},
+				Hypothesis: &Hypothesis{Measure: MeasureNodeAvg, Expect: "log"}},
+			{Name: "b", Spec: scenario.Spec{Graph: "cycle", Params: map[string]float64{"n": 24}, Algorithm: "mis/luby", Trials: 2, Seed: 3}},
+			{Name: "c", Spec: scenario.Spec{Graph: "path", Params: map[string]float64{"n": 24}, Algorithm: "mis/luby", Trials: 2, Seed: 3}},
+		},
+	}
+	want, err := Run(c, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatalf("default Run: %v", err)
+	}
+	wantBytes, _ := want.MarshalStable()
+
+	var calls atomic.Int64
+	got, err := Run(c, Options{
+		Parallelism: 2,
+		Execute: func(spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
+			calls.Add(1)
+			return scenario.Run(spec, scenario.Options{Parallelism: parallelism})
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run with Execute hook: %v", err)
+	}
+	gotBytes, _ := got.MarshalStable()
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("Execute hook changed the report\nhook:\n%s\ndefault:\n%s", gotBytes, wantBytes)
+	}
+	// "a" and "b" share a cache key, so the hook sees 2 unique specs.
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("Execute called %d times, want 2 (intra-campaign dedupe)", n)
+	}
+}

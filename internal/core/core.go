@@ -228,12 +228,189 @@ func trialIDStream(seed uint64, trial int) *rand.Rand {
 	return rand.New(rand.NewPCG(seed, 0x5D2F1A+uint64(trial)*0x9E3779B97F4A7C15))
 }
 
-// trialOutcome is everything one trial contributes to the Report.
-type trialOutcome struct {
-	tm       measure.Times
-	messages int64
-	oneSided float64 // mean one-sided edge time (node-output problems)
-	err      error
+// TrialOutcome is everything one trial contributes to a Report: the
+// per-node and per-edge completion times plus the run-level scalars. It is
+// the wire unit of distributed execution (internal/fleet): every field is a
+// plain integer or a float64, and Go's JSON encoding round-trips both
+// exactly, so outcomes computed on a remote worker merge into the same
+// Report bytes as locally computed ones.
+type TrialOutcome struct {
+	Node     []int32 `json:"node"`
+	Edge     []int32 `json:"edge"`
+	Messages int64   `json:"messages"`
+	OneSided float64 `json:"one_sided"` // mean one-sided edge time (node-output problems)
+}
+
+// ReportMeta is the graph/algorithm identity a merged Report carries and
+// the sizing its aggregation needs. Chunks executed on different machines
+// must agree on it — it is a pure function of (spec, row), so disagreement
+// means a worker ran different code.
+type ReportMeta struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	Problem   string `json:"problem"`
+	Nodes     int    `json:"nodes"`
+	Edges     int    `json:"edges"`
+}
+
+// Meta captures the ReportMeta of a measurement target.
+func Meta(g *graph.Graph, prob Problem, runner Runner) ReportMeta {
+	return ReportMeta{
+		Graph:     g.String(),
+		Algorithm: runner.Name(),
+		Problem:   prob.Name,
+		Nodes:     g.N(),
+		Edges:     g.M(),
+	}
+}
+
+// MeasureRange runs trials [lo, hi) of runner on g and returns their
+// outcomes in trial order. Trial indices are absolute: trial t draws the
+// same identifier permutation and algorithm seed whether it runs in a full
+// [0, trials) sweep or in a one-trial chunk on another machine, which is
+// what lets a fleet partition a trial set arbitrarily and still merge
+// bit-identically. opt.Trials is ignored; opt.Parallelism fans the range
+// out over a worker pool (outcome-indistinguishable from sequential). The
+// returned error is the lowest-indexed trial's error.
+func MeasureRange(g *graph.Graph, prob Problem, runner Runner, opt MeasureOptions, lo, hi int) ([]TrialOutcome, error) {
+	if lo < 0 || hi <= lo {
+		return nil, fmt.Errorf("core: invalid trial range [%d, %d)", lo, hi)
+	}
+	count := hi - lo
+	workers := opt.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > count {
+		workers = count
+	}
+
+	outcomes := make([]TrialOutcome, count)
+	errs := make([]error, count)
+	runTrial := func(trial int, eng *runtime.Engine) (TrialOutcome, error) {
+		assignment := ids.RandomPerm(g.N(), trialIDStream(opt.Seed, trial))
+		var res *runtime.Result
+		var err error
+		if er, ok := runner.(EngineRunner); ok && eng != nil {
+			res, err = er.RunEngine(eng, assignment, trialSeed(opt.Seed, trial))
+		} else {
+			res, err = runner.Run(g, assignment, trialSeed(opt.Seed, trial))
+		}
+		if err != nil {
+			return TrialOutcome{}, fmt.Errorf("core: trial %d: %w", trial, err)
+		}
+		if err := prob.Validate(g, res); err != nil {
+			return TrialOutcome{}, fmt.Errorf("core: trial %d output invalid: %w", trial, err)
+		}
+		// The one-sided measure reads the commit ledger directly; its error
+		// must fail the trial — a swallowed error would silently contribute
+		// 0 to OneSidedEdgeAvg and bias the mean toward 0.
+		var oneSided float64
+		if prob.Kind == runtime.NodeOutputs {
+			var err error
+			if oneSided, err = measure.OneSidedEdgeAvg(g, res); err != nil {
+				return TrialOutcome{}, fmt.Errorf("core: trial %d: %w", trial, err)
+			}
+		}
+		tm, err := measure.Completion(g, res, prob.Kind)
+		if err != nil {
+			return TrialOutcome{}, fmt.Errorf("core: trial %d: %w", trial, err)
+		}
+		return TrialOutcome{Node: tm.Node, Edge: tm.Edge, Messages: res.Messages, OneSided: oneSided}, nil
+	}
+
+	newEngine := func() *runtime.Engine {
+		if _, ok := runner.(EngineRunner); ok {
+			return runtime.NewEngine(g)
+		}
+		return nil
+	}
+	if workers == 1 {
+		eng := newEngine()
+		for i := 0; i < count; i++ {
+			outcomes[i], errs[i] = runTrial(lo+i, eng)
+			if errs[i] != nil {
+				break // later trials cannot change the reported error
+			}
+		}
+	} else {
+		jobs := make(chan int)
+		// Lowest failing range offset so far. Trials above it can be skipped:
+		// the scan below never reads past the first error, so skipping them
+		// cannot change the outcomes or the reported error. Trials below it
+		// must still run — one of them failing would change the report.
+		minFailed := int64(count)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eng := newEngine()
+				for i := range jobs {
+					if int64(i) > atomic.LoadInt64(&minFailed) {
+						continue
+					}
+					outcomes[i], errs[i] = runTrial(lo+i, eng)
+					if errs[i] != nil {
+						for {
+							cur := atomic.LoadInt64(&minFailed)
+							if int64(i) >= cur || atomic.CompareAndSwapInt64(&minFailed, cur, int64(i)) {
+								break
+							}
+						}
+					}
+				}
+			}()
+		}
+		for i := 0; i < count; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outcomes, nil
+}
+
+// MergeTrials aggregates complete trial outcomes (trial order, covering the
+// whole run) into a Report. The float accumulation order is fixed by the
+// slice order, so any partition of a trial set into MeasureRange chunks —
+// across goroutines, processes or machines — merges into the same Report
+// as a single sequential run, bit for bit. Measure itself is implemented on
+// top of it, which makes the equivalence hold by construction.
+func MergeTrials(meta ReportMeta, trials []TrialOutcome) *Report {
+	agg := measure.NewAgg(meta.Nodes, meta.Edges)
+	var oneSidedSum, msgSum float64
+	for i := range trials {
+		o := &trials[i]
+		agg.Add(measure.Times{Node: o.Node, Edge: o.Edge})
+		msgSum += float64(o.Messages)
+		oneSidedSum += o.OneSided
+	}
+	n := len(trials)
+	rep := &Report{
+		Graph:     meta.Graph,
+		Algorithm: meta.Algorithm,
+		Problem:   meta.Problem,
+		Trials:    n,
+	}
+	if n == 0 {
+		return rep
+	}
+	rep.NodeAvg = agg.NodeAvg()
+	rep.EdgeAvg = agg.EdgeAvg()
+	rep.ExpNode = agg.ExpNode()
+	rep.ExpEdge = agg.ExpEdge()
+	rep.WorstMean = agg.WorstMean()
+	rep.WorstMax = agg.WorstMax()
+	rep.OneSidedEdgeAvg = oneSidedSum / float64(n)
+	rep.Messages = msgSum / float64(n)
+	rep.Dist = agg.Dist()
+	return rep
 }
 
 // Measure runs trials of runner on g, validates each output against prob,
@@ -245,123 +422,9 @@ func Measure(g *graph.Graph, prob Problem, runner Runner, opt MeasureOptions) (*
 	if trials <= 0 {
 		trials = 1
 	}
-	workers := opt.Parallelism
-	if workers < 1 {
-		workers = 1
+	outcomes, err := MeasureRange(g, prob, runner, opt, 0, trials)
+	if err != nil {
+		return nil, err
 	}
-	if workers > trials {
-		workers = trials
-	}
-
-	outcomes := make([]trialOutcome, trials)
-	runTrial := func(trial int, eng *runtime.Engine) trialOutcome {
-		assignment := ids.RandomPerm(g.N(), trialIDStream(opt.Seed, trial))
-		var res *runtime.Result
-		var err error
-		if er, ok := runner.(EngineRunner); ok && eng != nil {
-			res, err = er.RunEngine(eng, assignment, trialSeed(opt.Seed, trial))
-		} else {
-			res, err = runner.Run(g, assignment, trialSeed(opt.Seed, trial))
-		}
-		if err != nil {
-			return trialOutcome{err: fmt.Errorf("core: trial %d: %w", trial, err)}
-		}
-		if err := prob.Validate(g, res); err != nil {
-			return trialOutcome{err: fmt.Errorf("core: trial %d output invalid: %w", trial, err)}
-		}
-		// The one-sided measure reads the commit ledger directly; its error
-		// must fail the trial — a swallowed error would silently contribute
-		// 0 to OneSidedEdgeAvg and bias the mean toward 0.
-		var oneSided float64
-		if prob.Kind == runtime.NodeOutputs {
-			var err error
-			if oneSided, err = measure.OneSidedEdgeAvg(g, res); err != nil {
-				return trialOutcome{err: fmt.Errorf("core: trial %d: %w", trial, err)}
-			}
-		}
-		tm, err := measure.Completion(g, res, prob.Kind)
-		if err != nil {
-			return trialOutcome{err: fmt.Errorf("core: trial %d: %w", trial, err)}
-		}
-		return trialOutcome{tm: tm, messages: res.Messages, oneSided: oneSided}
-	}
-
-	newEngine := func() *runtime.Engine {
-		if _, ok := runner.(EngineRunner); ok {
-			return runtime.NewEngine(g)
-		}
-		return nil
-	}
-	if workers == 1 {
-		eng := newEngine()
-		for trial := 0; trial < trials; trial++ {
-			outcomes[trial] = runTrial(trial, eng)
-			if outcomes[trial].err != nil {
-				break // later trials cannot change the reported error
-			}
-		}
-	} else {
-		jobs := make(chan int)
-		// Lowest failing trial index so far. Trials above it can be skipped:
-		// the merge loop below never reads past the first error, so skipping
-		// them cannot change the Report or the reported error. Trials below
-		// it must still run — one of them failing would change the report.
-		minFailed := int64(trials)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				eng := newEngine()
-				for trial := range jobs {
-					if int64(trial) > atomic.LoadInt64(&minFailed) {
-						continue
-					}
-					outcomes[trial] = runTrial(trial, eng)
-					if outcomes[trial].err != nil {
-						for {
-							cur := atomic.LoadInt64(&minFailed)
-							if int64(trial) >= cur || atomic.CompareAndSwapInt64(&minFailed, cur, int64(trial)) {
-								break
-							}
-						}
-					}
-				}
-			}()
-		}
-		for trial := 0; trial < trials; trial++ {
-			jobs <- trial
-		}
-		close(jobs)
-		wg.Wait()
-	}
-
-	// Merge in trial order: float accumulation order matches a sequential
-	// run exactly, and the first error by trial index wins.
-	agg := measure.NewAgg(g.N(), g.M())
-	var oneSidedSum, msgSum float64
-	for trial := 0; trial < trials; trial++ {
-		o := &outcomes[trial]
-		if o.err != nil {
-			return nil, o.err
-		}
-		agg.Add(o.tm)
-		msgSum += float64(o.messages)
-		oneSidedSum += o.oneSided
-	}
-	return &Report{
-		Graph:           g.String(),
-		Algorithm:       runner.Name(),
-		Problem:         prob.Name,
-		Trials:          trials,
-		NodeAvg:         agg.NodeAvg(),
-		EdgeAvg:         agg.EdgeAvg(),
-		ExpNode:         agg.ExpNode(),
-		ExpEdge:         agg.ExpEdge(),
-		WorstMean:       agg.WorstMean(),
-		WorstMax:        agg.WorstMax(),
-		OneSidedEdgeAvg: oneSidedSum / float64(trials),
-		Messages:        msgSum / float64(trials),
-		Dist:            agg.Dist(),
-	}, nil
+	return MergeTrials(Meta(g, prob, runner), outcomes), nil
 }

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"avgloc/internal/scenario"
+)
+
+// ChunkJob is one leased unit of work: execute trials [TrialLo, TrialHi)
+// of sweep row Row of Spec. The spec travels with every lease so workers
+// stay stateless — a worker that just joined can execute any chunk.
+type ChunkJob struct {
+	ID      string        `json:"id"`
+	Spec    scenario.Spec `json:"spec"`
+	Row     int           `json:"row"`
+	TrialLo int           `json:"trial_lo"`
+	TrialHi int           `json:"trial_hi"`
+}
+
+type registerRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+// registerResponse tells the worker its identity and the cadence the
+// coordinator expects: heartbeat at HeartbeatMillis while executing, poll
+// roughly every PollMillis while idle.
+type registerResponse struct {
+	WorkerID        string `json:"worker_id"`
+	HeartbeatMillis int64  `json:"heartbeat_ms"`
+	PollMillis      int64  `json:"poll_ms"`
+}
+
+type pollRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// pollResponse carries a chunk lease, or nothing when the queue is empty
+// and no straggler qualifies for stealing.
+type pollResponse struct {
+	Chunk *ChunkJob `json:"chunk,omitempty"`
+}
+
+type heartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	ChunkID  string `json:"chunk_id"`
+}
+
+// completeRequest reports a chunk outcome: the per-trial partials on
+// success, or the deterministic execution error. Worker loss is never
+// reported — it is inferred from missed heartbeats.
+type completeRequest struct {
+	WorkerID string          `json:"worker_id"`
+	ChunkID  string          `json:"chunk_id"`
+	Chunk    *scenario.Chunk `json:"chunk,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+type completeResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// errorResponse is the error rendering of every fleet endpoint.
+type errorResponse struct {
+	Error string `json:"error"`
+}

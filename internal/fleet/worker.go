@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"avgloc/internal/scenario"
+)
+
+// Worker is the client side of the fleet protocol: register, pull chunks,
+// execute them through the scenario layer, stream the partials back. It is
+// stateless between chunks — everything needed to execute travels with the
+// lease — so workers can join, crash and rejoin at any time.
+type Worker struct {
+	// Base is the coordinator base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Name is a free-form operator label shown in fleet stats.
+	Name string
+	// Parallelism fans one chunk's trials out locally (default 1). It has
+	// no effect on the merged bytes.
+	Parallelism int
+	// Poll overrides the idle re-poll interval advertised by the
+	// coordinator (0 = use the advertised cadence).
+	Poll time.Duration
+	// Client is the HTTP client (default: a client without timeout —
+	// requests are bounded by the run context; chunk uploads can be large).
+	Client *http.Client
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// errLapsed reports a registration the coordinator no longer recognizes.
+var errLapsed = fmt.Errorf("fleet: worker registration lapsed")
+
+// retryBackoff is the pause after a failed coordinator round-trip.
+const retryBackoff = 500 * time.Millisecond
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// Run drives the worker until ctx is cancelled: register (retrying while
+// the coordinator is unreachable), then poll/execute/complete. A lapsed
+// registration — the coordinator restarted, or deregistered us after a
+// long GC pause — transparently re-registers.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		reg, err := w.register(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("avgworker: register: %v (retrying)", err)
+			if !sleepCtx(ctx, retryBackoff) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.logf("avgworker: registered as %s at %s", reg.WorkerID, w.Base)
+		if err := w.loop(ctx, reg); err != errLapsed {
+			return err
+		}
+		w.logf("avgworker: registration lapsed, re-registering")
+	}
+}
+
+func (w *Worker) loop(ctx context.Context, reg registerResponse) error {
+	idle := w.Poll
+	if idle <= 0 {
+		idle = time.Duration(reg.PollMillis) * time.Millisecond
+	}
+	if idle <= 0 {
+		idle = DefaultPollInterval
+	}
+	heartbeat := time.Duration(reg.HeartbeatMillis) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeatTimeout / 3
+	}
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		job, err := w.poll(ctx, reg.WorkerID)
+		if err == errLapsed {
+			return err
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("avgworker: poll: %v (retrying)", err)
+			if !sleepCtx(ctx, retryBackoff) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if job == nil {
+			if !sleepCtx(ctx, idle) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.executeAndReport(ctx, reg.WorkerID, job, heartbeat)
+	}
+}
+
+// executeAndReport runs one chunk, heartbeating while it executes, and
+// uploads the result. Execution errors are reported to the coordinator —
+// they are deterministic, so the coordinator fails the run instead of
+// retrying them elsewhere.
+func (w *Worker) executeAndReport(ctx context.Context, workerID string, job *ChunkJob, heartbeat time.Duration) {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	go func() {
+		tick := time.NewTicker(heartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				req := heartbeatRequest{WorkerID: workerID, ChunkID: job.ID}
+				var resp map[string]bool
+				if err := w.post(hbCtx, "/fleet/v1/heartbeat", req, &resp); err != nil && hbCtx.Err() == nil {
+					w.logf("avgworker: heartbeat %s: %v", job.ID, err)
+				}
+			}
+		}
+	}()
+	par := w.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	start := time.Now()
+	chunk, err := scenario.RunChunk(&job.Spec, job.Row, job.TrialLo, job.TrialHi, par)
+	stopHB()
+	req := completeRequest{WorkerID: workerID, ChunkID: job.ID}
+	if err != nil {
+		req.Error = err.Error()
+		w.logf("avgworker: chunk %s failed: %v", job.ID, err)
+	} else {
+		req.Chunk = chunk
+		w.logf("avgworker: chunk %s (row %d trials [%d, %d)) done in %v",
+			job.ID, job.Row, job.TrialLo, job.TrialHi, time.Since(start).Round(time.Millisecond))
+	}
+	// Retry the upload a few times: the result cost real work, and a
+	// transient coordinator hiccup should not force a full re-execution.
+	for attempt := 0; ; attempt++ {
+		var resp completeResponse
+		err := w.post(ctx, "/fleet/v1/complete", req, &resp)
+		if err == nil || err == errLapsed || ctx.Err() != nil || attempt >= 3 {
+			if err != nil && ctx.Err() == nil {
+				w.logf("avgworker: complete %s: %v (dropping; coordinator will requeue)", job.ID, err)
+			}
+			return
+		}
+		if !sleepCtx(ctx, retryBackoff) {
+			return
+		}
+	}
+}
+
+func (w *Worker) register(ctx context.Context) (registerResponse, error) {
+	var resp registerResponse
+	err := w.post(ctx, "/fleet/v1/register", registerRequest{Name: w.Name}, &resp)
+	if err == nil && resp.WorkerID == "" {
+		err = fmt.Errorf("fleet: register returned no worker id")
+	}
+	return resp, err
+}
+
+func (w *Worker) poll(ctx context.Context, workerID string) (*ChunkJob, error) {
+	var resp pollResponse
+	if err := w.post(ctx, "/fleet/v1/poll", pollRequest{WorkerID: workerID}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Chunk, nil
+}
+
+// post is one JSON round-trip against the coordinator. 410 Gone maps to
+// errLapsed; other non-200 statuses surface the server's error line.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return errLapsed
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("fleet: %s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("fleet: %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the
+// caller should continue.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -235,6 +235,50 @@ func Run(id string, opt Options) (*Table, error) {
 	return nil, fmt.Errorf("harness: unknown experiment %q", id)
 }
 
+// Select resolves a comma-separated experiment filter ("E1,E3") into
+// experiments, in catalogue order and deduplicated. Ids are trimmed and
+// case-insensitive. An empty filter selects everything; an unknown id is
+// an error that lists the catalogue, so a typo fails before any
+// experiment burns minutes of sweep time.
+func Select(filter string) ([]Experiment, error) {
+	all := All()
+	if strings.TrimSpace(filter) == "" {
+		return all, nil
+	}
+	want := make(map[string]bool)
+	for _, id := range strings.Split(filter, ",") {
+		id = strings.ToUpper(strings.TrimSpace(id))
+		if id == "" {
+			continue
+		}
+		found := false
+		for _, e := range all {
+			if e.ID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			ids := make([]string, len(all))
+			for i, e := range all {
+				ids[i] = e.ID
+			}
+			return nil, fmt.Errorf("harness: unknown experiment %q (available: %s)", id, strings.Join(ids, ", "))
+		}
+		want[id] = true
+	}
+	if len(want) == 0 {
+		return all, nil
+	}
+	var out []Experiment
+	for _, e := range all {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
 func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
 

@@ -126,8 +126,10 @@ func (s *Store) pruneDiskLocked() {
 	}
 }
 
-// validKey reports whether key is safe as a file name (hex hash + "-s" +
-// decimal seed, per scenario.Key).
+// validKey reports whether key is safe as a file name: hex hash + "-s" +
+// decimal seed (scenario.Key), optionally followed by a chunk suffix
+// "-c<row>-<lo>-<hi>" (scenario.ChunkKey) — the fleet coordinator caches
+// chunk partials in the same store as full outcomes.
 func validKey(key string) bool {
 	if key == "" || len(key) > 128 {
 		return false

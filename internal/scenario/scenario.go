@@ -170,6 +170,24 @@ func (s *Spec) Key() (string, error) {
 	return fmt.Sprintf("%s-s%d", h, s.Seed), nil
 }
 
+// ChunkKey is the result-cache key of one executed chunk of the scenario
+// with cache key key: row `row`, trials [lo, hi). Chunk keys share the
+// scenario-key alphabet (internal/resultstore accepts them), so the fleet
+// coordinator can cache chunk partials in the same store as full outcomes
+// and a re-run after a worker crash only re-executes the lost chunks.
+func ChunkKey(key string, row, lo, hi int) string {
+	return fmt.Sprintf("%s-c%d-%d-%d", key, row, lo, hi)
+}
+
+// Rows returns the number of report rows the spec produces: one per sweep
+// value, or a single row without a sweep.
+func (s *Spec) Rows() int {
+	if s.Sweep == nil {
+		return 1
+	}
+	return len(s.Sweep.Values)
+}
+
 // Row is one measured point of an outcome: the effective graph parameters,
 // the realized graph size, and the aggregated report. Nodes/Edges are the
 // built graph's actual size — for families whose node count is indirect
@@ -318,15 +336,7 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	rowParams := []registry.Values{n.Params}
-	if n.Sweep != nil {
-		rowParams = rowParams[:0]
-		for _, x := range n.Sweep.Values {
-			v := n.Params.Clone()
-			v[n.Sweep.Param] = x
-			rowParams = append(rowParams, v)
-		}
-	}
+	rowParams := rowParamsOf(n)
 	rows := make([]Row, len(rowParams))
 	err = runRows(len(rowParams), opt.Parallelism, func(i, measurePar int) error {
 		// Each row builds its own graph from a row-derived generator
@@ -350,6 +360,140 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	return &Outcome{Spec: n, Hash: hash, Rows: rows}, nil
+}
+
+// rowParamsOf expands a normalized spec into one effective parameter set
+// per report row (sweep order; the base params without a sweep).
+func rowParamsOf(n *Spec) []registry.Values {
+	if n.Sweep == nil {
+		return []registry.Values{n.Params}
+	}
+	out := make([]registry.Values, 0, len(n.Sweep.Values))
+	for _, x := range n.Sweep.Values {
+		v := n.Params.Clone()
+		v[n.Sweep.Param] = x
+		out = append(out, v)
+	}
+	return out
+}
+
+// Chunk is the unit of distributed scenario execution: the per-trial
+// outcomes of trials [TrialLo, TrialHi) of one sweep row, plus the row's
+// realized identity. Chunks are produced by RunChunk — on any machine —
+// and reassembled by MergeChunks; because trial indices are absolute and
+// every random stream is counter-derived from (seed, row, trial), any
+// partition of a row's trial set into chunks merges into the same Outcome
+// bytes as a single-process Run.
+type Chunk struct {
+	Row     int                 `json:"row"`
+	TrialLo int                 `json:"trial_lo"`
+	TrialHi int                 `json:"trial_hi"`
+	Meta    core.ReportMeta     `json:"meta"`
+	Trials  []core.TrialOutcome `json:"trials"`
+}
+
+// RunChunk executes trials [lo, hi) of sweep row `row` of the scenario.
+// The row's graph is rebuilt from the row-derived generator stream and the
+// trials use the same absolute-index seed derivations as Run, so a chunk's
+// outcomes are a pure function of (normalized spec, seed, row, trial) —
+// independent of which process runs it. parallelism fans the chunk's
+// trials out locally (outcome-indistinguishable from sequential).
+func RunChunk(s *Spec, row, lo, hi, parallelism int) (*Chunk, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	rowParams := rowParamsOf(n)
+	if row < 0 || row >= len(rowParams) {
+		return nil, fmt.Errorf("scenario: chunk row %d out of range [0, %d)", row, len(rowParams))
+	}
+	if lo < 0 || hi <= lo || hi > n.Trials {
+		return nil, fmt.Errorf("scenario: chunk trials [%d, %d) out of range [0, %d)", lo, hi, n.Trials)
+	}
+	fam, err := registry.FindGraph(n.Graph)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := registry.FindAlgorithm(n.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	g, err := fam.Build(rowParams[row], graphStream(n.Seed, row))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: row %d: %w", row, err)
+	}
+	runner, problem := entry.New()
+	outs, err := core.MeasureRange(g, problem, runner, core.MeasureOptions{
+		Seed:        rowSeed(n.Seed, row),
+		Parallelism: parallelism,
+	}, lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: row %d (%s on %s): %w", row, n.Algorithm, g, err)
+	}
+	return &Chunk{
+		Row:     row,
+		TrialLo: lo,
+		TrialHi: hi,
+		Meta:    core.Meta(g, problem, runner),
+		Trials:  outs,
+	}, nil
+}
+
+// MergeChunks reassembles a full Outcome from chunks covering every (row,
+// trial) of the scenario exactly once, in any order. The merge sorts each
+// row's chunks by trial range and feeds the concatenated outcomes to
+// core.MergeTrials — the same accumulation, in the same order, as Run —
+// so the result is byte-identical (MarshalStable) to a single-process run.
+// Gaps, overlaps, or chunks whose row identity disagrees are errors: a
+// silently tolerated hole would produce a plausible-looking but wrong
+// report.
+func MergeChunks(s *Spec, chunks []*Chunk) (*Outcome, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return nil, err
+	}
+	rowParams := rowParamsOf(n)
+	byRow := make([][]*Chunk, len(rowParams))
+	for _, c := range chunks {
+		if c.Row < 0 || c.Row >= len(rowParams) {
+			return nil, fmt.Errorf("scenario: merge: chunk row %d out of range [0, %d)", c.Row, len(rowParams))
+		}
+		if len(c.Trials) != c.TrialHi-c.TrialLo {
+			return nil, fmt.Errorf("scenario: merge: row %d chunk [%d, %d) carries %d trials", c.Row, c.TrialLo, c.TrialHi, len(c.Trials))
+		}
+		byRow[c.Row] = append(byRow[c.Row], c)
+	}
+	rows := make([]Row, len(rowParams))
+	for row, rc := range byRow {
+		sort.Slice(rc, func(i, j int) bool { return rc[i].TrialLo < rc[j].TrialLo })
+		next := 0
+		outs := make([]core.TrialOutcome, 0, n.Trials)
+		for _, c := range rc {
+			if c.TrialLo != next {
+				return nil, fmt.Errorf("scenario: merge: row %d trials [%d, %d) missing or duplicated", row, next, c.TrialLo)
+			}
+			if c.Meta != rc[0].Meta {
+				return nil, fmt.Errorf("scenario: merge: row %d chunk [%d, %d) metadata %+v disagrees with %+v", row, c.TrialLo, c.TrialHi, c.Meta, rc[0].Meta)
+			}
+			outs = append(outs, c.Trials...)
+			next = c.TrialHi
+		}
+		if next != n.Trials {
+			return nil, fmt.Errorf("scenario: merge: row %d covers %d of %d trials", row, next, n.Trials)
+		}
+		meta := rc[0].Meta
+		rows[row] = Row{
+			Params: rowParams[row],
+			Nodes:  meta.Nodes,
+			Edges:  meta.Edges,
+			Report: core.MergeTrials(meta, outs),
+		}
 	}
 	return &Outcome{Spec: n, Hash: hash, Rows: rows}, nil
 }
