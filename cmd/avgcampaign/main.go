@@ -27,14 +27,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	goruntime "runtime"
 	"strings"
+	"syscall"
 
 	"avgloc/internal/campaign"
 	"avgloc/internal/fleet"
@@ -65,11 +68,21 @@ func run() error {
 		return err
 	}
 
+	// SIGINT/SIGTERM cancels the in-process run at row granularity:
+	// finished scenarios keep their verdicts, the rest report the context
+	// error. A second signal aborts immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	var rep *campaign.Report
 	if *server != "" {
 		rep, err = runRemote(*server, data)
 	} else {
-		rep, err = runLocal(data, *parallelism, *cacheDir, *cacheSize, *fleetListen)
+		rep, err = runLocal(ctx, data, *parallelism, *cacheDir, *cacheSize, *fleetListen)
 	}
 	if err != nil {
 		return err
@@ -90,7 +103,7 @@ func run() error {
 	return nil
 }
 
-func runLocal(data []byte, parallelism int, cacheDir string, cacheSize int, fleetListen string) (*campaign.Report, error) {
+func runLocal(ctx context.Context, data []byte, parallelism int, cacheDir string, cacheSize int, fleetListen string) (*campaign.Report, error) {
 	c, err := campaign.Parse(data)
 	if err != nil {
 		return nil, err
@@ -107,6 +120,7 @@ func runLocal(data []byte, parallelism int, cacheDir string, cacheSize int, flee
 	opts := campaign.Options{
 		Parallelism: parallelism,
 		Store:       store,
+		Ctx:         ctx,
 		OnScenario: func(r campaign.ScenarioRun) {
 			status := "done"
 			if r.Err != "" {

@@ -1,0 +1,283 @@
+// Command avgchaos is the chaos soak: it runs a small worker fleet against
+// an in-process coordinator under an escalating, seeded fault plan
+// (internal/chaos) and proves the stack's headline guarantee under fire —
+// the merged campaign report of a faulted fleet run is byte-identical to a
+// fault-free local run.
+//
+// Usage:
+//
+//	avgchaos -seed 1 -out /tmp/soak.a
+//	avgchaos -seed 1 -out /tmp/soak.b && cmp /tmp/soak.a /tmp/soak.b
+//
+// Each stage escalates the fault pressure: injected latency, dropped
+// connections, synthesized 503s, duplicated deliveries, bit-flipped and
+// truncated bodies on the worker protocol, plus torn/corrupted/dropped
+// writes on the shared chunk cache. The final stage additionally
+// SIGTERM-drains one worker mid-run (context cancellation — the same path
+// cmd/avgworker takes on a real SIGTERM). Every stage runs three ways:
+//
+//  1. a fault-free local reference (campaign.Run, no fleet, no store),
+//  2. a fleet pass under the stage's plan (cold chunk cache),
+//  3. a fleet replay (warm chunk cache: clean entries serve, corrupted
+//     entries quarantine and re-execute).
+//
+// All three must produce byte-identical MarshalStable reports, every
+// transport and disk fault class must actually fire, and at least one
+// corrupted cache entry must be quarantined — otherwise the soak exits 1.
+// -out writes the concatenated per-stage report bytes; running twice with
+// the same seed and cmp-ing the files proves the soak itself replays.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"avgloc/internal/campaign"
+	"avgloc/internal/chaos"
+	"avgloc/internal/fleet"
+	"avgloc/internal/resultstore"
+	"avgloc/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avgchaos:", err)
+		os.Exit(1)
+	}
+}
+
+// stage pairs a fault plan with whether this stage drains a worker mid-run.
+type stage struct {
+	plan  chaos.Plan
+	drain bool
+}
+
+// stages escalate from a fault-free sanity pass to every class at once.
+// Probabilities are high enough that each class fires many times over a
+// soak, low enough that retry budgets rarely exhaust (and when they do,
+// local fallback keeps the bytes identical anyway — that is the point).
+func stages() []stage {
+	return []stage{
+		{plan: chaos.Plan{Name: "calm"}},
+		{plan: chaos.Plan{Name: "breeze",
+			Latency: 0.5, LatencyMaxMS: 4, Dup: 0.15, Err5xx: 0.10}},
+		{plan: chaos.Plan{Name: "squall",
+			Drop: 0.12, Dup: 0.10, Err5xx: 0.12, Latency: 0.3, LatencyMaxMS: 4,
+			CorruptReq: 0.12, TruncateResp: 0.10, CorruptResp: 0.10,
+			TornWrite: 0.20, CorruptWrite: 0.20, DropWrite: 0.20}},
+		{plan: chaos.Plan{Name: "storm",
+			Drop: 0.18, Dup: 0.15, Err5xx: 0.15, Latency: 0.3, LatencyMaxMS: 4,
+			CorruptReq: 0.15, TruncateResp: 0.15, CorruptResp: 0.15,
+			TornWrite: 0.25, CorruptWrite: 0.25, DropWrite: 0.25},
+			drain: true},
+	}
+}
+
+// soakCampaign builds the per-stage workload. Spec seeds differ per stage
+// so every stage exercises the dispatch path instead of the previous
+// stage's chunk cache; they are a pure function of (seed, stage), keeping
+// the whole soak replayable.
+func soakCampaign(seed uint64, si, trials int) *campaign.Campaign {
+	specSeed := func(i int) uint64 { return seed*1000 + uint64(si)*10 + uint64(i) }
+	return &campaign.Campaign{
+		Name: fmt.Sprintf("chaos-stage-%d", si),
+		Scenarios: []campaign.Item{
+			{
+				Name: "luby-sweep",
+				Spec: scenario.Spec{
+					Graph: "cycle", Algorithm: "mis/luby", Trials: trials, Seed: specSeed(0),
+					Sweep: &scenario.Sweep{Param: "n", Values: []float64{24, 40, 56}},
+				},
+				Hypothesis: &campaign.Hypothesis{Measure: campaign.MeasureNodeAvg, Expect: "log"},
+			},
+			{
+				Name: "luby-point",
+				Spec: scenario.Spec{
+					Graph: "cycle", Params: map[string]float64{"n": 40},
+					Algorithm: "mis/luby", Trials: trials, Seed: specSeed(1),
+				},
+			},
+		},
+	}
+}
+
+func run() error {
+	seed := flag.Uint64("seed", 1, "master seed for the fault stream and all spec seeds; equal seeds replay the soak")
+	outPath := flag.String("out", "", "write the concatenated per-stage report bytes here (cmp across invocations)")
+	trials := flag.Int("trials", 6, "trials per scenario (chunked at 2 per lease)")
+	nWorkers := flag.Int("workers", 3, "fleet workers")
+	flag.Parse()
+
+	inj, err := chaos.New(chaos.Plan{}, *seed)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "avgchaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// Capacity 2 keeps almost every chunk out of memory, so the warm replay
+	// reads disk — the layer the fault plan tampers with.
+	store, err := resultstore.NewWithOptions(2, dir, resultstore.Options{TamperDiskWrite: inj.TamperDiskWrite})
+	if err != nil {
+		return err
+	}
+	coord := fleet.NewCoordinator(fleet.Config{
+		ChunkTrials:      2,
+		HeartbeatTimeout: time.Second,
+		StealAfter:       300 * time.Millisecond,
+		PollInterval:     20 * time.Millisecond,
+		Store:            store,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Every worker's protocol traffic flows through the injector's
+	// transport; each worker gets its own cancel so the storm stage can
+	// drain one mid-run.
+	cancels := make([]context.CancelFunc, *nWorkers)
+	var wg sync.WaitGroup
+	for i := 0; i < *nWorkers; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels[i] = cancel
+		w := &fleet.Worker{
+			Base:        base,
+			Name:        fmt.Sprintf("chaos-%d", i),
+			Parallelism: 2,
+			Poll:        5 * time.Millisecond,
+			Seed:        *seed + uint64(i) + 1,
+			DrainGrace:  5 * time.Second,
+			Client:      &http.Client{Transport: inj.Transport(nil)},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+		wg.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.Workers() < *nWorkers {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d of %d workers registered", coord.Workers(), *nWorkers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var out bytes.Buffer
+	for si, st := range stages() {
+		if err := inj.SetPlan(st.plan); err != nil {
+			return err
+		}
+		c := soakCampaign(*seed, si, *trials)
+		ref, err := campaign.Run(c, campaign.Options{Parallelism: 2})
+		if err != nil {
+			return fmt.Errorf("stage %s: reference run: %w", st.plan.Name, err)
+		}
+		refBytes, err := ref.MarshalStable()
+		if err != nil {
+			return err
+		}
+		if st.drain {
+			// The same path a real SIGTERM takes in cmd/avgworker: the
+			// worker finishes and uploads its chunk in flight, then
+			// deregisters; its siblings absorb the rest of the run.
+			go func() {
+				time.Sleep(150 * time.Millisecond)
+				fmt.Fprintf(os.Stderr, "stage %s: draining worker 0 mid-run\n", st.plan.Name)
+				cancels[0]()
+			}()
+		}
+		cold, err := fleetPass(c, coord)
+		if err != nil {
+			return fmt.Errorf("stage %s: fleet pass: %w", st.plan.Name, err)
+		}
+		warm, err := fleetPass(c, coord)
+		if err != nil {
+			return fmt.Errorf("stage %s: warm replay: %w", st.plan.Name, err)
+		}
+		if !bytes.Equal(cold, refBytes) {
+			return fmt.Errorf("stage %s: fleet bytes differ from fault-free local bytes\nfleet:\n%s\nlocal:\n%s",
+				st.plan.Name, cold, refBytes)
+		}
+		if !bytes.Equal(warm, refBytes) {
+			return fmt.Errorf("stage %s: warm-replay bytes differ from fault-free local bytes", st.plan.Name)
+		}
+		fmt.Fprintf(os.Stderr, "stage %s: ok (fleet == warm replay == local, %d bytes)\n", st.plan.Name, len(cold))
+		fmt.Fprintf(&out, "== stage %s ==\n", st.plan.Name)
+		out.Write(cold)
+	}
+
+	// The comparison only means something if the faults actually fired.
+	cs := inj.Stats()
+	missing := ""
+	for _, f := range []struct {
+		name string
+		n    int64
+	}{
+		{"drops", cs.Drops}, {"dups", cs.Dups}, {"err5xx", cs.Err5xx},
+		{"delays", cs.Delays}, {"corrupt_reqs", cs.CorruptReqs},
+		{"truncated_resp", cs.TruncatedResp}, {"corrupt_resp", cs.CorruptResp},
+		{"torn_writes", cs.TornWrites}, {"corrupt_writes", cs.CorruptWrites},
+		{"dropped_writes", cs.DroppedWrites},
+	} {
+		if f.n == 0 {
+			missing += " " + f.name
+		}
+	}
+	ss := store.Stats()
+	fs := coord.Stats()
+	chaosJSON, _ := json.Marshal(cs)
+	fmt.Fprintf(os.Stderr, "chaos: %s\n", chaosJSON)
+	fmt.Fprintf(os.Stderr, "store: quarantined=%d hits=%d misses=%d\n", ss.Quarantined, ss.Hits, ss.Misses)
+	fmt.Fprintf(os.Stderr, "fleet: dispatched=%d completed=%d cached=%d retried=%d stolen=%d duplicate=%d failed=%d\n",
+		fs.ChunksDispatched, fs.ChunksCompleted, fs.ChunksCached, fs.ChunksRetried, fs.ChunksStolen, fs.ChunksDuplicate, fs.ChunksFailed)
+	if missing != "" {
+		return fmt.Errorf("fault classes never fired:%s (raise probabilities or traffic)", missing)
+	}
+	if ss.Quarantined == 0 {
+		return fmt.Errorf("no corrupted cache entry was quarantined — the disk fault path went unexercised")
+	}
+	if fs.ChunksCached == 0 {
+		return fmt.Errorf("warm replay served nothing from the chunk cache")
+	}
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, out.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("avgchaos: %d stages byte-identical under %d injected faults (%d quarantined chunk files)\n",
+		len(stages()), cs.Total(), ss.Quarantined)
+	return nil
+}
+
+// fleetPass runs the campaign through the coordinator and returns its
+// stable report bytes.
+func fleetPass(c *campaign.Campaign, coord *fleet.Coordinator) ([]byte, error) {
+	rep, err := campaign.Run(c, campaign.Options{Parallelism: 2, Execute: coord.Execute})
+	if err != nil {
+		return nil, err
+	}
+	return rep.MarshalStable()
+}

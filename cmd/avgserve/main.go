@@ -38,11 +38,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"avgloc/internal/fleet"
 	"avgloc/internal/resultstore"
@@ -65,13 +70,24 @@ func run() error {
 	chunkTrials := flag.Int("fleet-chunk-trials", fleet.DefaultChunkTrials, "trials per dispatched chunk (stable sharding; chunk-cache keys depend on it)")
 	heartbeat := flag.Duration("fleet-heartbeat", fleet.DefaultHeartbeatTimeout, "lease expiry without a worker heartbeat; silent workers deregister after twice this")
 	stealAfter := flag.Duration("fleet-steal-after", fleet.DefaultStealAfter, "lease age before an idle worker may duplicate a straggling chunk")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request execution deadline, queue wait included (0 = unbounded)")
+	breakerThreshold := flag.Int("breaker-threshold", fleet.DefaultBreakerThreshold, "consecutive fleet failures before dispatch trips to local execution")
+	breakerCooldown := flag.Duration("breaker-cooldown", fleet.DefaultBreakerCooldown, "how long a tripped breaker routes around the fleet before re-probing")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight requests on SIGTERM/SIGINT")
 	flag.Parse()
 
 	store, err := resultstore.New(*cacheSize, *cacheDir)
 	if err != nil {
 		return err
 	}
-	cfg := serverConfig{store: store, workers: *workers, par: *parallelism}
+	cfg := serverConfig{
+		store:            store,
+		workers:          *workers,
+		par:              *parallelism,
+		requestTimeout:   *requestTimeout,
+		breakerThreshold: *breakerThreshold,
+		breakerCooldown:  *breakerCooldown,
+	}
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
@@ -85,7 +101,32 @@ func run() error {
 		})
 	}
 	srv := newServerCfg(cfg)
-	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q fleet=%v)",
-		*addr, *workers, *parallelism, *cacheSize, *cacheDir, *fleetMode)
-	return http.ListenAndServe(*addr, srv)
+	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q fleet=%v timeout=%v)",
+		*addr, *workers, *parallelism, *cacheSize, *cacheDir, *fleetMode, *requestTimeout)
+
+	// Graceful drain on SIGTERM/SIGINT: stop accepting, let in-flight
+	// requests (and their fleet chunks) finish within -drain-timeout, then
+	// exit. A second signal aborts immediately.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills the process
+		log.Printf("avgserve: draining (bound %v)", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		log.Printf("avgserve: drained cleanly")
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }

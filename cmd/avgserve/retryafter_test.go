@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+// TestComputeRetryAfter pins the overload hint: queue drain time from
+// (depth x observed run EWMA / workers), clamped to [1, 30] seconds, with
+// a 1s floor before any run has been observed.
+func TestComputeRetryAfter(t *testing.T) {
+	cases := []struct {
+		name    string
+		depth   int
+		workers int
+		ewma    float64
+		want    int
+	}{
+		{"no observations yet", 100, 4, 0, 1},
+		{"fast runs floor at 1s", 2, 4, 0.05, 1},
+		{"drain-rate estimate", 10, 2, 1.0, 5},
+		{"ceil, not truncate", 3, 2, 1.0, 2},
+		{"clamped at 30s", 1000, 1, 2.0, 30},
+		{"zero workers treated as one", 4, 0, 1.0, 4},
+		{"empty queue still 1s", 0, 4, 1.0, 1},
+	}
+	for _, c := range cases {
+		if got := computeRetryAfter(c.depth, c.workers, c.ewma); got != c.want {
+			t.Errorf("%s: computeRetryAfter(%d, %d, %v) = %d, want %d",
+				c.name, c.depth, c.workers, c.ewma, got, c.want)
+		}
+	}
+}

@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"avgloc/internal/campaign"
 	"avgloc/internal/fleet"
@@ -37,6 +40,13 @@ type job struct {
 	spec   *scenario.Spec
 	result []byte
 	done   chan struct{}
+	// ctx bounds the job's execution under -request-timeout. The clock
+	// starts at submission — queue wait counts against the deadline — and
+	// the job owns its context rather than borrowing the HTTP request's,
+	// because deduped jobs are shared: one waiter disconnecting must not
+	// cancel a result other waiters (and the cache) still want.
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 // server routes HTTP requests into a bounded worker pool over the scenario
@@ -46,10 +56,19 @@ type server struct {
 	mux      *http.ServeMux
 	store    *resultstore.Store
 	par      int // scenario.Options.Parallelism: per-run budget over rows × trials
+	workers  int
 	queue    chan *job
 	queueCap int
 	retain   int // finished jobs kept for polling before pruning
 	coord    *fleet.Coordinator
+	// breaker gates fleet dispatch (nil without a coordinator): repeated
+	// ErrUnavailable trips it, and tripped requests go straight to local
+	// execution instead of paying the fleet probe cost per request.
+	breaker *fleet.Breaker
+	// requestTimeout bounds one job from submission to completion (0 =
+	// unbounded); it propagates as a context through scenario and fleet
+	// execution, so an expired request stops computing rows.
+	requestTimeout time.Duration
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -65,6 +84,11 @@ type server struct {
 	runsCached     int64
 	runsFleet      int64 // completed runs executed by the worker fleet
 	campaignsTotal int64
+	// deadlineExceeded counts runs killed by -request-timeout.
+	deadlineExceeded int64
+	// ewmaRunSec tracks the observed per-run duration (exponential moving
+	// average), feeding the dynamic Retry-After computation.
+	ewmaRunSec float64
 }
 
 // serverConfig parameterizes newServerCfg; zero values select defaults.
@@ -76,6 +100,12 @@ type serverConfig struct {
 	par      int
 	queueCap int                // dispatch queue bound (default 256)
 	coord    *fleet.Coordinator // nil = local execution only
+	// requestTimeout bounds one job end to end (0 = unbounded).
+	requestTimeout time.Duration
+	// breakerThreshold / breakerCooldown parameterize the fleet-dispatch
+	// circuit breaker (zero values select the fleet defaults).
+	breakerThreshold int
+	breakerCooldown  time.Duration
 }
 
 // newServer starts `workers` pool goroutines and returns the ready server.
@@ -95,15 +125,20 @@ func newServerCfg(cfg serverConfig) *server {
 		cfg.queueCap = 256
 	}
 	s := &server{
-		mux:      http.NewServeMux(),
-		store:    cfg.store,
-		par:      cfg.par,
-		queue:    make(chan *job, cfg.queueCap),
-		queueCap: cfg.queueCap,
-		retain:   4096,
-		coord:    cfg.coord,
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*job),
+		mux:            http.NewServeMux(),
+		store:          cfg.store,
+		par:            cfg.par,
+		workers:        cfg.workers,
+		queue:          make(chan *job, cfg.queueCap),
+		queueCap:       cfg.queueCap,
+		retain:         4096,
+		coord:          cfg.coord,
+		requestTimeout: cfg.requestTimeout,
+		jobs:           make(map[string]*job),
+		inflight:       make(map[string]*job),
+	}
+	if cfg.coord != nil {
+		s.breaker = fleet.NewBreaker(cfg.breakerThreshold, cfg.breakerCooldown)
 	}
 	for w := 0; w < cfg.workers; w++ {
 		go s.worker()
@@ -141,12 +176,17 @@ func (s *server) worker() {
 // computed result.
 func (s *server) execute(j *job) {
 	s.setStatus(j, statusRunning, "")
-	out, viaFleet, err := s.runSpec(j.spec)
+	start := time.Now()
+	out, viaFleet, err := s.runSpec(j.ctx, j.spec)
+	if j.cancel != nil {
+		j.cancel()
+	}
 	var data []byte
 	if err == nil {
 		data, err = out.MarshalStable()
 	}
 	if err == nil {
+		s.noteRunSeconds(time.Since(start).Seconds())
 		if perr := s.store.Put(j.Key, data); perr != nil {
 			log.Printf("avgserve: caching %s: %v", j.Key, perr)
 		}
@@ -156,6 +196,9 @@ func (s *server) execute(j *job) {
 		j.Status = statusError
 		j.Error = err.Error()
 		s.runsFailed++
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deadlineExceeded++
+		}
 	} else {
 		j.result = data
 		j.Status = statusDone
@@ -169,20 +212,43 @@ func (s *server) execute(j *job) {
 	close(j.done)
 }
 
+// noteRunSeconds folds one completed run's duration into the drain-rate
+// EWMA behind the dynamic Retry-After.
+func (s *server) noteRunSeconds(sec float64) {
+	const alpha = 0.3
+	s.mu.Lock()
+	if s.ewmaRunSec == 0 {
+		s.ewmaRunSec = sec
+	} else {
+		s.ewmaRunSec = alpha*sec + (1-alpha)*s.ewmaRunSec
+	}
+	s.mu.Unlock()
+}
+
 // runSpec executes one scenario, dispatching to the fleet when workers are
-// attached. viaFleet reports whether the fleet produced the outcome.
-func (s *server) runSpec(spec *scenario.Spec) (out *scenario.Outcome, viaFleet bool, err error) {
-	if s.coord != nil && s.coord.Workers() > 0 {
-		out, err = s.coord.RunScenario(spec)
+// attached and the circuit breaker admits it. viaFleet reports whether the
+// fleet produced the outcome.
+func (s *server) runSpec(ctx context.Context, spec *scenario.Spec) (out *scenario.Outcome, viaFleet bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.coord != nil && s.coord.Workers() > 0 && s.breaker.Allow() {
+		out, err = s.coord.RunScenario(ctx, spec)
 		if err == nil {
+			s.breaker.Success()
 			return out, true, nil
 		}
 		if !errors.Is(err, fleet.ErrUnavailable) {
-			return nil, false, err // deterministic execution error: local retry would re-derive it
+			// A deterministic execution error or an expired request: the
+			// fleet infrastructure itself answered, so the breaker stays
+			// closed; a local retry would only re-derive the same failure.
+			s.breaker.Success()
+			return nil, false, err
 		}
+		s.breaker.Failure()
 		log.Printf("avgserve: fleet unavailable (%v), running locally", err)
 	}
-	out, err = scenario.Run(spec, scenario.Options{Parallelism: s.par})
+	out, err = scenario.Run(spec, scenario.Options{Parallelism: s.par, Ctx: ctx})
 	return out, false, err
 }
 
@@ -250,6 +316,12 @@ func (s *server) submit(spec *scenario.Spec) (*job, error) {
 		return cur, nil
 	}
 	j := s.newJobLocked(key, norm)
+	// The request deadline starts now: queue wait counts against it, so an
+	// overloaded server sheds expired work instead of executing it late.
+	j.ctx = context.Background()
+	if s.requestTimeout > 0 {
+		j.ctx, j.cancel = context.WithTimeout(j.ctx, s.requestTimeout)
+	}
 	// Enqueue while still holding the lock (the send never blocks): the job
 	// becomes visible through inflight only once it is guaranteed to run, so
 	// a concurrent identical request can never join a job whose done channel
@@ -260,6 +332,9 @@ func (s *server) submit(spec *scenario.Spec) (*job, error) {
 		s.mu.Unlock()
 	default:
 		delete(s.jobs, j.ID) // the stale order entry is skipped by pruning
+		if j.cancel != nil {
+			j.cancel()
+		}
 		s.mu.Unlock()
 		return nil, errQueueFull
 	}
@@ -279,16 +354,42 @@ func submitStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-// retryAfterSeconds is the Retry-After hint on 503 responses: the queue
-// drains at scenario-execution speed, so "soon" is the honest answer.
-const retryAfterSeconds = "1"
+// computeRetryAfter turns queue depth and the observed drain rate into a
+// Retry-After hint: the estimated seconds until the queue has room, i.e.
+// depth runs served by `workers` pool slots at ewmaSec seconds each,
+// clamped to [1, 30]. Before any run has completed (ewmaSec 0) it answers
+// 1 — the optimistic constant the server used to hardcode.
+func computeRetryAfter(depth, workers int, ewmaSec float64) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if ewmaSec <= 0 {
+		return 1
+	}
+	sec := int(math.Ceil(float64(depth) * ewmaSec / float64(workers)))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
+// retryAfter snapshots the current Retry-After hint in seconds.
+func (s *server) retryAfter() int {
+	s.mu.Lock()
+	ewma := s.ewmaRunSec
+	s.mu.Unlock()
+	return computeRetryAfter(len(s.queue), s.workers, ewma)
+}
 
 // submitError reports a submit failure, adding Retry-After on overload so
 // well-behaved clients back off instead of hammering a full queue.
-func submitError(w http.ResponseWriter, err error) {
+func (s *server) submitError(w http.ResponseWriter, err error) {
 	status := submitStatus(err)
 	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfter()))
 	}
 	httpError(w, status, err)
 }
@@ -342,10 +443,19 @@ type metrics struct {
 	RunsCached     int64             `json:"runs_cached"`
 	RunsFleet      int64             `json:"runs_fleet"`
 	CampaignsTotal int64             `json:"campaigns_total"`
+	// Degradation observables: every hardened failure path leaves a count
+	// here, so degraded service is visible rather than silent.
+	DeadlineExceeded  int64 `json:"deadline_exceeded"`
+	StoreQuarantined  int64 `json:"store_quarantined"`
+	RetryAfterSeconds int   `json:"retry_after_seconds"` // current 503 hint
 	// Fleet is present only in -fleet mode: attached-worker count plus the
-	// coordinator's chunk queue and per-worker counters.
-	FleetWorkers int          `json:"fleet_workers,omitempty"`
-	Fleet        *fleet.Stats `json:"fleet,omitempty"`
+	// coordinator's chunk queue and per-worker counters (chunks_retried /
+	// chunks_stolen / chunks_duplicate are the fleet retry counters), and
+	// the dispatch circuit breaker's state.
+	FleetWorkers      int          `json:"fleet_workers,omitempty"`
+	FleetBreakerState string       `json:"fleet_breaker_state,omitempty"`
+	FleetBreakerTrips int64        `json:"fleet_breaker_trips,omitempty"`
+	Fleet             *fleet.Stats `json:"fleet,omitempty"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -355,24 +465,32 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap := s.coord.Stats()
 		fs = &snap
 	}
+	retryAfter := s.retryAfter()
 	s.mu.Lock()
 	m := metrics{
-		Store:          st,
-		InFlight:       len(s.inflight),
-		QueueDepth:     len(s.queue),
-		QueueCap:       s.queueCap,
-		JobsTotal:      s.jobsTotal,
-		RunsCompleted:  s.runsCompleted,
-		RunsFailed:     s.runsFailed,
-		RunsCached:     s.runsCached,
-		RunsFleet:      s.runsFleet,
-		CampaignsTotal: s.campaignsTotal,
-		Fleet:          fs,
+		Store:             st,
+		InFlight:          len(s.inflight),
+		QueueDepth:        len(s.queue),
+		QueueCap:          s.queueCap,
+		JobsTotal:         s.jobsTotal,
+		RunsCompleted:     s.runsCompleted,
+		RunsFailed:        s.runsFailed,
+		RunsCached:        s.runsCached,
+		RunsFleet:         s.runsFleet,
+		CampaignsTotal:    s.campaignsTotal,
+		DeadlineExceeded:  s.deadlineExceeded,
+		StoreQuarantined:  st.Quarantined,
+		RetryAfterSeconds: retryAfter,
+		Fleet:             fs,
 	}
 	if fs != nil {
 		m.FleetWorkers = len(fs.Workers)
 	}
 	s.mu.Unlock()
+	if s.breaker != nil {
+		m.FleetBreakerState = s.breaker.State()
+		m.FleetBreakerTrips = s.breaker.Trips()
+	}
 	writeJSON(w, http.StatusOK, m)
 }
 
@@ -394,7 +512,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.submit(spec)
 	if err != nil {
-		submitError(w, err)
+		s.submitError(w, err)
 		return
 	}
 	<-j.done
@@ -624,7 +742,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.submit(spec)
 	if err != nil {
-		submitError(w, err)
+		s.submitError(w, err)
 		return
 	}
 	s.mu.Lock()

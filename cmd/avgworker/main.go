@@ -9,22 +9,30 @@
 //
 //	avgworker -coordinator http://127.0.0.1:8080 -parallelism 4
 //
-// The worker retries while the coordinator is unreachable and
-// re-registers transparently after a coordinator restart, so start order
-// does not matter. SIGINT/SIGTERM stop it; chunks it held simply requeue
-// once their heartbeats lapse.
+// The worker retries while the coordinator is unreachable (exponential
+// backoff with seeded jitter) and re-registers transparently after a
+// coordinator restart, so start order does not matter. SIGINT/SIGTERM
+// drain it gracefully: the chunk in flight finishes and uploads (bounded
+// by -drain-grace), then the worker deregisters so the coordinator
+// requeues nothing. A second signal aborts immediately.
+//
+// -chaos-plan injects deterministic transport faults (internal/chaos) into
+// every coordinator round-trip — the process-level leg of the chaos soak.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 
+	"avgloc/internal/chaos"
 	"avgloc/internal/fleet"
 )
 
@@ -40,6 +48,9 @@ func run() error {
 	name := flag.String("name", "", "worker label shown in fleet stats (default host-pid)")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-chunk trial fan-out (no effect on merged bytes)")
 	poll := flag.Duration("poll", 0, "idle re-poll interval (0 = coordinator-advertised)")
+	drainGrace := flag.Duration("drain-grace", fleet.DefaultDrainGrace, "post-SIGTERM window for finishing and uploading the chunk in flight")
+	chaosPlan := flag.String("chaos-plan", "", "JSON fault plan (internal/chaos); injects deterministic transport faults into coordinator round-trips")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection stream seed (with -chaos-plan)")
 	flag.Parse()
 
 	label := *name
@@ -49,14 +60,47 @@ func run() error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	go func() {
+		// After the first signal starts the drain, restore default signal
+		// handling so a second SIGTERM/SIGINT kills the process immediately.
+		<-ctx.Done()
+		stop()
+	}()
 
 	w := &fleet.Worker{
 		Base:        *coordinator,
 		Name:        label,
 		Parallelism: *parallelism,
 		Poll:        *poll,
+		DrainGrace:  *drainGrace,
 		Logf:        log.Printf,
 	}
-	log.Printf("avgworker: %s -> %s (parallelism=%d poll=%v)", label, *coordinator, *parallelism, *poll)
-	return w.Run(ctx)
+	if *chaosPlan != "" {
+		data, err := os.ReadFile(*chaosPlan)
+		if err != nil {
+			return err
+		}
+		var plan chaos.Plan
+		if err := json.Unmarshal(data, &plan); err != nil {
+			return fmt.Errorf("parsing %s: %w", *chaosPlan, err)
+		}
+		inj, err := chaos.New(plan, *chaosSeed)
+		if err != nil {
+			return err
+		}
+		w.Client = &http.Client{Transport: inj.Transport(nil)}
+		w.Seed = *chaosSeed
+		defer func() {
+			st := inj.Stats()
+			data, _ := json.Marshal(st)
+			log.Printf("avgworker: chaos stats: %s", data)
+		}()
+		log.Printf("avgworker: chaos plan %s (seed %d) armed", *chaosPlan, *chaosSeed)
+	}
+	log.Printf("avgworker: %s -> %s (parallelism=%d poll=%v drain-grace=%v)", label, *coordinator, *parallelism, *poll, *drainGrace)
+	err := w.Run(ctx)
+	if err == context.Canceled {
+		log.Printf("avgworker: drained cleanly")
+	}
+	return err
 }

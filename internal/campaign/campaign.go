@@ -26,6 +26,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -461,13 +462,19 @@ type Options struct {
 	// OnScenario, if non-nil, receives one completion event per scenario,
 	// in campaign order, as results become available.
 	OnScenario func(ScenarioRun)
+	// Ctx, if non-nil, cancels the campaign: scenarios not yet started are
+	// skipped (their runs report ctx's error) and running scenarios stop at
+	// their next row boundary. Completed scenarios still wrote through to
+	// the store, so a retry resumes from cache.
+	Ctx context.Context
 	// Execute, if non-nil, replaces the local scenario executor on cache
-	// misses: it receives the normalized spec and the per-scenario slice of
-	// the Parallelism budget. The fleet coordinator plugs in here, so every
+	// misses: it receives the campaign context (context.Background when Ctx
+	// is nil), the normalized spec and the per-scenario slice of the
+	// Parallelism budget. The fleet coordinator plugs in here, so every
 	// scenario of a campaign draws on one shared fleet budget instead of
 	// each opening its own; because fleet execution is byte-identical to
 	// local, the report does not depend on which executor ran.
-	Execute func(spec *scenario.Spec, parallelism int) (*scenario.Outcome, error)
+	Execute func(ctx context.Context, spec *scenario.Spec, parallelism int) (*scenario.Outcome, error)
 }
 
 // Run executes the campaign and evaluates its hypotheses. Scenarios with
@@ -527,10 +534,14 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 		perScenario = 1
 	}
 
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	runSpec := opt.Execute
 	if runSpec == nil {
-		runSpec = func(spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
-			return scenario.Run(spec, scenario.Options{Parallelism: parallelism})
+		runSpec = func(ctx context.Context, spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
+			return scenario.Run(spec, scenario.Options{Parallelism: parallelism, Ctx: ctx})
 		}
 	}
 	execute := func(key string) {
@@ -546,7 +557,11 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 				// A corrupt cache entry falls through to a fresh run.
 			}
 		}
-		out, err := runSpec(bySlot[key], perScenario)
+		if err := ctx.Err(); err != nil {
+			s.err = err
+			return
+		}
+		out, err := runSpec(ctx, bySlot[key], perScenario)
 		if err != nil {
 			s.err = err
 			return

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -31,9 +32,9 @@ func TestExecuteHookIsTransparent(t *testing.T) {
 	var calls atomic.Int64
 	got, err := Run(c, Options{
 		Parallelism: 2,
-		Execute: func(spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
+		Execute: func(ctx context.Context, spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
 			calls.Add(1)
-			return scenario.Run(spec, scenario.Options{Parallelism: parallelism})
+			return scenario.Run(spec, scenario.Options{Parallelism: parallelism, Ctx: ctx})
 		},
 	})
 	if err != nil {
@@ -46,5 +47,30 @@ func TestExecuteHookIsTransparent(t *testing.T) {
 	// "a" and "b" share a cache key, so the hook sees 2 unique specs.
 	if n := calls.Load(); n != 2 {
 		t.Fatalf("Execute called %d times, want 2 (intra-campaign dedupe)", n)
+	}
+}
+
+// TestCancelledContextFailsScenarios: a cancelled Options.Ctx stops the
+// campaign — scenarios report the context error instead of executing.
+func TestCancelledContextFailsScenarios(t *testing.T) {
+	c := &Campaign{
+		Name: "cancelled",
+		Scenarios: []Item{
+			{Name: "a", Spec: scenario.Spec{Graph: "cycle", Params: map[string]float64{"n": 24}, Algorithm: "mis/luby", Trials: 2, Seed: 3},
+				Hypothesis: &Hypothesis{Measure: MeasureNodeAvg, Expect: "log"}},
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(c, Options{Parallelism: 1, Ctx: ctx})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res := rep.Scenarios[0]
+	if res.Error != context.Canceled.Error() {
+		t.Fatalf("error = %q, want %q", res.Error, context.Canceled.Error())
+	}
+	if res.Verdict != Inconclusive {
+		t.Fatalf("verdict = %q, want INCONCLUSIVE", res.Verdict)
 	}
 }

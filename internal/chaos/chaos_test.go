@@ -1,0 +1,219 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+var fullPlan = Plan{
+	Name:         "everything",
+	Drop:         0.15,
+	Dup:          0.15,
+	Err5xx:       0.15,
+	Latency:      0.2,
+	LatencyMaxMS: 1,
+	CorruptReq:   0.15,
+	TruncateResp: 0.15,
+	CorruptResp:  0.15,
+	TornWrite:    0.2,
+	CorruptWrite: 0.2,
+	DropWrite:    0.2,
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := fullPlan
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Plan{Drop: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+	if _, err := New(Plan{Dup: -0.1}, 1); err == nil {
+		t.Fatal("New accepted a negative probability")
+	}
+}
+
+// TestZeroPlanTransparent: the zero plan injects nothing — the transport is
+// an identity wrapper and the write tamperer passes bytes through.
+func TestZeroPlanTransparent(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Write(append([]byte("echo:"), body...))
+	}))
+	defer srv.Close()
+	in, err := New(Plan{}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: in.Transport(nil)}
+	for i := 0; i < 50; i++ {
+		resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("hello"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "echo:hello" {
+			t.Fatalf("zero plan altered traffic: %q", body)
+		}
+	}
+	raw := []byte("payload")
+	out, drop := in.TamperDiskWrite("k", raw)
+	if drop || string(out) != "payload" {
+		t.Fatalf("zero plan altered a write: %q drop=%v", out, drop)
+	}
+	if got := in.Stats().Total(); got != 0 {
+		t.Fatalf("zero plan injected %d faults", got)
+	}
+}
+
+// driveFaults pushes n requests and n writes through a fresh injector and
+// returns (stats, per-request outcome trace) for determinism comparison.
+func driveFaults(t *testing.T, seed uint64, n int) (Stats, []string) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(`{"ok":true,"pad":"0123456789abcdef"}`))
+	}))
+	defer srv.Close()
+	in, err := New(fullPlan, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: in.Transport(nil)}
+	var trace []string
+	for i := 0; i < n; i++ {
+		resp, err := client.Post(srv.URL, "application/json", strings.NewReader(`{"req":1}`))
+		switch {
+		case err != nil:
+			trace = append(trace, "err")
+		default:
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			trace = append(trace, resp.Status+":"+string(body))
+		}
+		out, dropped := in.TamperDiskWrite("k", []byte("0123456789abcdef0123456789abcdef"))
+		if dropped {
+			trace = append(trace, "w:drop")
+		} else {
+			trace = append(trace, "w:"+string(out))
+		}
+	}
+	return in.Stats(), trace
+}
+
+// TestEveryFaultClassFires: at the fullPlan rates, 400 events trip every
+// fault class at least once, and injected transport errors are ErrInjected.
+func TestEveryFaultClassFires(t *testing.T) {
+	st, _ := driveFaults(t, 7, 400)
+	checks := []struct {
+		name string
+		v    int64
+	}{
+		{"Drops", st.Drops}, {"Dups", st.Dups}, {"Err5xx", st.Err5xx},
+		{"Delays", st.Delays}, {"CorruptReqs", st.CorruptReqs},
+		{"TruncatedResp", st.TruncatedResp}, {"CorruptResp", st.CorruptResp},
+		{"TornWrites", st.TornWrites}, {"CorruptWrites", st.CorruptWrites},
+		{"DroppedWrites", st.DroppedWrites},
+	}
+	for _, c := range checks {
+		if c.v == 0 {
+			t.Errorf("fault class %s never fired in 400 events", c.name)
+		}
+	}
+	if st.Requests != 400 || st.Writes != 400 {
+		t.Fatalf("event counts wrong: %+v", st)
+	}
+
+	// A dropped request surfaces as ErrInjected (wrapped in *url.Error by
+	// the client), so callers can tell injected faults from real ones.
+	in, _ := New(Plan{Drop: 1}, 1)
+	client := &http.Client{Transport: in.Transport(nil)}
+	_, err := client.Get("http://127.0.0.1:0/never")
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped request error not marked injected: %v", err)
+	}
+}
+
+// TestDeterministicReplay: same (seed, plan) → identical fault decisions,
+// byte for byte; a different seed diverges.
+func TestDeterministicReplay(t *testing.T) {
+	st1, tr1 := driveFaults(t, 99, 200)
+	st2, tr2 := driveFaults(t, 99, 200)
+	if st1 != st2 {
+		t.Fatalf("stats diverged across replays:\n%+v\n%+v", st1, st2)
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatalf("event %d diverged:\n%q\n%q", i, tr1[i], tr2[i])
+		}
+	}
+	_, tr3 := driveFaults(t, 100, 200)
+	same := 0
+	for i := range tr1 {
+		if tr1[i] == tr3[i] {
+			same++
+		}
+	}
+	if same == len(tr1) {
+		t.Fatal("different seeds produced identical fault traces")
+	}
+}
+
+// TestDuplicateDelivery: at Dup=1 every request reaches the server twice.
+func TestDuplicateDelivery(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Write(body)
+	}))
+	defer srv.Close()
+	in, _ := New(Plan{Dup: 1}, 5)
+	client := &http.Client{Transport: in.Transport(nil)}
+	for i := 0; i < 10; i++ {
+		resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("abc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "abc" {
+			t.Fatalf("dup delivery corrupted body: %q", body)
+		}
+	}
+	if got := hits.Load(); got != 20 {
+		t.Fatalf("server saw %d deliveries, want 20", got)
+	}
+	if st := in.Stats(); st.Dups != 10 {
+		t.Fatalf("Dups = %d, want 10", st.Dups)
+	}
+}
+
+// TestSetPlanEscalates: switching plans mid-stream changes the pressure
+// without reseeding.
+func TestSetPlanEscalates(t *testing.T) {
+	in, _ := New(Plan{}, 3)
+	for i := 0; i < 20; i++ {
+		if _, drop := in.TamperDiskWrite("k", []byte("x")); drop {
+			t.Fatal("zero plan dropped a write")
+		}
+	}
+	if err := in.SetPlan(Plan{DropWrite: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, drop := in.TamperDiskWrite("k", []byte("x")); !drop {
+		t.Fatal("escalated plan did not drop the write")
+	}
+	if err := in.SetPlan(Plan{Drop: 2}); err == nil {
+		t.Fatal("SetPlan accepted an invalid plan")
+	}
+}

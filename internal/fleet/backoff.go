@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"avgloc/internal/seedmix"
+)
+
+// backoffSeedDomain separates backoff jitter streams from every other
+// seedmix consumer.
+const backoffSeedDomain = 0x424B4F46 // "BKOF"
+
+// Backoff produces exponentially growing retry delays with deterministic
+// equal-jitter: delay n is uniform in [base·2ⁿ/2, base·2ⁿ], capped at max.
+// The jitter stream is seeded, so a worker's retry schedule — like
+// everything else in a chaos run — replays exactly from its seed, while
+// distinct workers (distinct seeds) still desynchronize and avoid
+// thundering-herd reconnects. Not safe for concurrent use; each retry loop
+// owns its Backoff.
+type Backoff struct {
+	base, max time.Duration
+	attempt   int
+	rng       *rand.Rand
+}
+
+// NewBackoff returns a backoff ramping from base to max, jittered by the
+// stream derived from seed.
+func NewBackoff(base, max time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &Backoff{
+		base: base,
+		max:  max,
+		rng: rand.New(rand.NewPCG(
+			seedmix.Derive(seed, backoffSeedDomain, 0),
+			seedmix.Derive(seed, backoffSeedDomain, 1),
+		)),
+	}
+}
+
+// Next returns the next delay and advances the attempt counter.
+func (b *Backoff) Next() time.Duration {
+	d := b.base << b.attempt
+	if d > b.max || d < b.base { // d < base guards shift overflow
+		d = b.max
+	} else {
+		b.attempt++
+	}
+	half := d / 2
+	return half + time.Duration(b.rng.Float64()*float64(half))
+}
+
+// Reset rewinds the ramp after a success, keeping the jitter stream
+// position (determinism needs the stream to never restart).
+func (b *Backoff) Reset() { b.attempt = 0 }

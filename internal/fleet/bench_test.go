@@ -101,7 +101,7 @@ func BenchmarkFleetDispatchFleet(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.RunScenario(&dispatchSpec); err != nil {
+		if _, err := c.RunScenario(context.Background(), &dispatchSpec); err != nil {
 			b.Fatal(err)
 		}
 	}

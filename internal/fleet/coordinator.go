@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -172,6 +173,10 @@ type Stats struct {
 	ChunksRetried    int64         `json:"chunks_retried"`
 	ChunksStolen     int64         `json:"chunks_stolen"`
 	ChunksFailed     int64         `json:"chunks_failed"`
+	// ChunksDuplicate counts complete() calls for chunks already merged —
+	// stolen copies finishing second, duplicate deliveries, leases that
+	// expired while the worker kept computing. All are idempotently ignored.
+	ChunksDuplicate int64 `json:"chunks_duplicate"`
 }
 
 // Coordinator shards scenario runs into chunks and drives a worker fleet.
@@ -194,6 +199,7 @@ type Coordinator struct {
 	retried    int64
 	stolen     int64
 	failed     int64
+	duplicate  int64
 }
 
 // NewCoordinator returns a coordinator with the given configuration.
@@ -236,6 +242,7 @@ func (c *Coordinator) Stats() Stats {
 		ChunksRetried:    c.retried,
 		ChunksStolen:     c.stolen,
 		ChunksFailed:     c.failed,
+		ChunksDuplicate:  c.duplicate,
 	}
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStats{
@@ -359,6 +366,29 @@ func (c *Coordinator) register(name string) registerResponse {
 	}
 }
 
+// deregister removes a gracefully departing worker (SIGTERM drain),
+// requeueing any chunk whose only lease it held — immediately, instead of
+// after the heartbeat timeout. Unknown workers are a no-op: deregister is
+// idempotent.
+func (c *Coordinator) deregister(workerID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(time.Now())
+	w := c.workers[workerID]
+	if w == nil {
+		return
+	}
+	c.logf("fleet: worker %s (%s) deregistered (drain)", w.id, w.name)
+	for cid, t := range w.active {
+		delete(t.leases, workerID)
+		if len(t.leases) == 0 && !t.done {
+			c.requeueLocked(t)
+		}
+		delete(w.active, cid)
+	}
+	delete(c.workers, workerID)
+}
+
 // poll leases the next chunk to the worker: the queue head, or — when the
 // queue is drained — a stolen duplicate of the oldest straggling lease.
 // ok is false for unknown workers, which must re-register.
@@ -448,6 +478,10 @@ func (c *Coordinator) complete(req *completeRequest) completeResponse {
 	}
 	t := c.tasks[req.ChunkID]
 	if t == nil || t.done {
+		// Already merged (or never existed): a stolen copy finishing second,
+		// a duplicate delivery, a lease that expired mid-compute. Ignored —
+		// the first completion's bytes already stand.
+		c.duplicate++
 		c.mu.Unlock()
 		return completeResponse{}
 	}
@@ -524,8 +558,11 @@ func (c *Coordinator) complete(req *completeRequest) completeResponse {
 // count, chunk size, retry and steal schedule. Chunks already present in
 // the configured store are served from it without dispatching.
 // Infrastructure failures return ErrUnavailable-wrapped errors;
-// deterministic execution errors are returned as-is.
-func (c *Coordinator) RunScenario(spec *scenario.Spec) (*scenario.Outcome, error) {
+// deterministic execution errors are returned as-is. Cancelling ctx
+// abandons the wait and fails the run with ctx's error; chunks already in
+// flight still complete and land in the chunk cache, so a retried request
+// resumes rather than restarts.
+func (c *Coordinator) RunScenario(ctx context.Context, spec *scenario.Spec) (*scenario.Outcome, error) {
 	n, err := spec.Normalize()
 	if err != nil {
 		return nil, err
@@ -605,6 +642,11 @@ func (c *Coordinator) RunScenario(spec *scenario.Spec) (*scenario.Outcome, error
 	defer tick.Stop()
 	for {
 		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.failRunLocked(r, ctx.Err())
+			c.mu.Unlock()
+			return nil, ctx.Err()
 		case <-r.done:
 			c.mu.Lock()
 			err, chunks := r.err, r.chunks
@@ -632,15 +674,15 @@ func (c *Coordinator) RunScenario(spec *scenario.Spec) (*scenario.Outcome, error
 // into campaign.Run: every scenario of the campaign then draws on this
 // coordinator's single chunk queue — one shared fleet budget — as
 // cmd/avgcampaign's -fleet-listen mode does.
-func (c *Coordinator) Execute(spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
+func (c *Coordinator) Execute(ctx context.Context, spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
 	if c.Workers() > 0 {
-		out, err := c.RunScenario(spec)
+		out, err := c.RunScenario(ctx, spec)
 		if err == nil || !errors.Is(err, ErrUnavailable) {
 			return out, err
 		}
 		c.logf("fleet: unavailable (%v), running locally", err)
 	}
-	return scenario.Run(spec, scenario.Options{Parallelism: parallelism})
+	return scenario.Run(spec, scenario.Options{Parallelism: parallelism, Ctx: ctx})
 }
 
 // Handler returns the coordinator's HTTP surface, rooted at /fleet/v1/.
@@ -651,18 +693,26 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /fleet/v1/poll", c.handlePoll)
 	mux.HandleFunc("POST /fleet/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /fleet/v1/complete", c.handleComplete)
+	mux.HandleFunc("POST /fleet/v1/deregister", c.handleDeregister)
 	mux.HandleFunc("GET /fleet/v1/stats", c.handleStats)
 	return mux
 }
 
-// decodeBody strictly decodes a bounded JSON body.
+// decodeBody strictly decodes a bounded, envelope-framed JSON body. A
+// checksum failure — a corrupted upload — is a 400; the worker's retry
+// paths resend.
 func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
 	body, err := io.ReadAll(io.LimitReader(r.Body, limit))
 	if err != nil {
 		fleetError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 		return false
 	}
-	dec := json.NewDecoder(bytes.NewReader(body))
+	payload, err := openEnvelope(body)
+	if err != nil {
+		fleetError(w, http.StatusBadRequest, err)
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		fleetError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
@@ -717,14 +767,33 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	fleetJSON(w, http.StatusOK, c.complete(&req))
 }
 
-func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
-	fleetJSON(w, http.StatusOK, c.Stats())
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req deregisterRequest
+	if !decodeBody(w, r, 1<<16, &req) {
+		return
+	}
+	c.deregister(req.WorkerID)
+	fleetJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// handleStats serves the human/ops diagnostic; it is plain JSON, not
+// envelope-framed — only the worker protocol carries the integrity layer.
+func (c *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(c.Stats())
+}
+
+// fleetJSON writes an envelope-framed protocol response.
 func fleetJSON(w http.ResponseWriter, status int, v any) {
+	body, err := sealEnvelope(v)
+	if err != nil {
+		body, _ = sealEnvelope(errorResponse{Error: err.Error()})
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	w.Write(body)
 }
 
 func fleetError(w http.ResponseWriter, status int, err error) {

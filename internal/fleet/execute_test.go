@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -22,7 +23,7 @@ func TestExecuteFallsBackLocally(t *testing.T) {
 	spec := scenario.Spec{Graph: "cycle", Params: map[string]float64{"n": 24}, Algorithm: "mis/luby", Trials: 3, Seed: 8}
 	want := localBytes(t, &spec)
 	c := NewCoordinator(fastConfig())
-	out, err := c.Execute(&spec, 2)
+	out, err := c.Execute(context.Background(), &spec, 2)
 	if err != nil {
 		t.Fatalf("Execute without workers: %v", err)
 	}
@@ -51,7 +52,7 @@ func TestExecuteUsesFleetWhenWorkersAttached(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	out, err := c.Execute(&spec, 2)
+	out, err := c.Execute(context.Background(), &spec, 2)
 	if err != nil {
 		t.Fatalf("Execute with workers: %v", err)
 	}

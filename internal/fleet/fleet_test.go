@@ -85,7 +85,7 @@ func TestRunScenarioMatchesLocal(t *testing.T) {
 	defer stop()
 
 	waitWorkers(t, c, 2)
-	out, err := c.RunScenario(&fleetSpec)
+	out, err := c.RunScenario(context.Background(), &fleetSpec)
 	if err != nil {
 		t.Fatalf("RunScenario: %v", err)
 	}
@@ -132,7 +132,7 @@ func TestWorkerKillRetriesSameBytes(t *testing.T) {
 	var out *scenario.Outcome
 	go func() {
 		var err error
-		out, err = c.RunScenario(&fleetSpec)
+		out, err = c.RunScenario(context.Background(), &fleetSpec)
 		outcome <- err
 	}()
 	var leased *ChunkJob
@@ -194,7 +194,7 @@ func TestChunkCacheSkipsCompletedChunks(t *testing.T) {
 	defer ts.Close()
 	stop := startWorkers(t, ts.URL, 2)
 	waitWorkers(t, c1, 2)
-	out1, err := c1.RunScenario(&fleetSpec)
+	out1, err := c1.RunScenario(context.Background(), &fleetSpec)
 	if err != nil {
 		t.Fatalf("first run: %v", err)
 	}
@@ -203,7 +203,7 @@ func TestChunkCacheSkipsCompletedChunks(t *testing.T) {
 	// Fresh coordinator, same store, zero workers: everything is served
 	// from chunk partials.
 	c2 := NewCoordinator(cfg)
-	out2, err := c2.RunScenario(&fleetSpec)
+	out2, err := c2.RunScenario(context.Background(), &fleetSpec)
 	if err != nil {
 		t.Fatalf("cached re-run: %v", err)
 	}
@@ -225,7 +225,7 @@ func TestChunkCacheSkipsCompletedChunks(t *testing.T) {
 // signal avgserve uses to fall back to local execution.
 func TestNoWorkers(t *testing.T) {
 	c := NewCoordinator(fastConfig())
-	_, err := c.RunScenario(&fleetSpec)
+	_, err := c.RunScenario(context.Background(), &fleetSpec)
 	if !errors.Is(err, ErrNoWorkers) || !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("got %v, want ErrNoWorkers wrapping ErrUnavailable", err)
 	}
@@ -237,7 +237,7 @@ func TestQueueFull(t *testing.T) {
 	cfg.QueueCap = 2 // fleetSpec shards into 3 rows x ceil(7/2) = 12 chunks
 	c := NewCoordinator(cfg)
 	c.register("parked") // registered but never polls, so nothing drains
-	_, err := c.RunScenario(&fleetSpec)
+	_, err := c.RunScenario(context.Background(), &fleetSpec)
 	if !errors.Is(err, ErrBusy) || !errors.Is(err, ErrUnavailable) {
 		t.Fatalf("got %v, want ErrBusy wrapping ErrUnavailable", err)
 	}
@@ -251,7 +251,7 @@ func TestExecutionErrorFailsRun(t *testing.T) {
 	w := c.register("hand-rolled")
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.RunScenario(&fleetSpec)
+		_, err := c.RunScenario(context.Background(), &fleetSpec)
 		done <- err
 	}()
 	deadline := time.Now().Add(5 * time.Second)
@@ -294,7 +294,7 @@ func TestMismatchedChunkRequeues(t *testing.T) {
 	var out *scenario.Outcome
 	go func() {
 		var err error
-		out, err = c.RunScenario(&fleetSpec)
+		out, err = c.RunScenario(context.Background(), &fleetSpec)
 		done <- err
 	}()
 	// The confused worker grabs one chunk and returns garbage for it.
@@ -346,7 +346,7 @@ func TestAllMismatchedExhaustsToUnavailable(t *testing.T) {
 	w := c.register("persistently-confused")
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.RunScenario(&fleetSpec)
+		_, err := c.RunScenario(context.Background(), &fleetSpec)
 		done <- err
 	}()
 	stopFeeding := make(chan struct{})
@@ -379,6 +379,143 @@ func TestAllMismatchedExhaustsToUnavailable(t *testing.T) {
 	}
 }
 
+// TestLongChunkHeartbeatKeepsLease: a chunk whose execution outlives
+// HeartbeatTimeout many times over is NOT requeued or re-leased while its
+// worker keeps heartbeating — heartbeats extend the lease indefinitely,
+// and an idle second worker polls empty the whole time. Long-running
+// chunks on large graphs must not be treated as worker loss.
+func TestLongChunkHeartbeatKeepsLease(t *testing.T) {
+	spec := scenario.Spec{Graph: "cycle", Params: map[string]float64{"n": 24},
+		Algorithm: "mis/luby", Trials: 2, Seed: 13}
+	want := localBytes(t, &spec)
+	cfg := fastConfig()
+	cfg.HeartbeatTimeout = 150 * time.Millisecond
+	cfg.StealAfter = time.Hour // isolate the heartbeat path from work stealing
+	c := NewCoordinator(cfg)
+	holder := c.register("holder")
+	idle := c.register("idle")
+
+	done := make(chan error, 1)
+	var out *scenario.Outcome
+	go func() {
+		var err error
+		out, err = c.RunScenario(context.Background(), &spec)
+		done <- err
+	}()
+	var job *ChunkJob
+	deadline := time.Now().Add(5 * time.Second)
+	for job == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never leased the chunk")
+		}
+		j, ok := c.poll(holder.WorkerID)
+		if !ok {
+			t.Fatal("holder deregistered")
+		}
+		job = j
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// "Execute" for 4x the heartbeat timeout, heartbeating on the worker's
+	// advertised cadence. The idle worker polls throughout and must never
+	// receive the chunk.
+	until := time.Now().Add(4 * cfg.HeartbeatTimeout)
+	for time.Now().Before(until) {
+		if !c.heartbeat(holder.WorkerID, job.ID) {
+			t.Fatal("holder lost its registration while heartbeating")
+		}
+		if j, ok := c.poll(idle.WorkerID); !ok {
+			t.Fatal("idle worker deregistered")
+		} else if j != nil {
+			t.Fatalf("idle worker was leased chunk %s while the holder heartbeats", j.ID)
+		}
+		time.Sleep(cfg.HeartbeatTimeout / 4)
+	}
+	if st := c.Stats(); st.ChunksRetried != 0 || st.ChunksStolen != 0 {
+		t.Fatalf("heartbeating chunk was retried/stolen: %+v", st)
+	}
+
+	ch, err := scenario.RunChunk(&job.Spec, job.Row, job.TrialLo, job.TrialHi, 1)
+	if err != nil {
+		t.Fatalf("RunChunk: %v", err)
+	}
+	c.complete(&completeRequest{WorkerID: holder.WorkerID, ChunkID: job.ID, Chunk: ch})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunScenario: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not finish after the late completion")
+	}
+	got, _ := out.MarshalStable()
+	if !bytes.Equal(got, want) {
+		t.Fatal("slow-chunk bytes differ from local bytes")
+	}
+}
+
+// TestDuplicateCompleteIgnored: delivering the same completion twice (a
+// transport-level duplicate, or a retry racing its own success) merges the
+// chunk exactly once — the second delivery is counted as a duplicate and
+// the merged bytes are unaffected.
+func TestDuplicateCompleteIgnored(t *testing.T) {
+	spec := scenario.Spec{Graph: "cycle", Params: map[string]float64{"n": 24},
+		Algorithm: "mis/luby", Trials: 2, Seed: 13}
+	want := localBytes(t, &spec)
+	c := NewCoordinator(fastConfig())
+	w := c.register("echoing")
+	done := make(chan error, 1)
+	var out *scenario.Outcome
+	go func() {
+		var err error
+		out, err = c.RunScenario(context.Background(), &spec)
+		done <- err
+	}()
+	var job *ChunkJob
+	deadline := time.Now().Add(5 * time.Second)
+	for job == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("never leased the chunk")
+		}
+		j, ok := c.poll(w.WorkerID)
+		if !ok {
+			t.Fatal("worker deregistered")
+		}
+		job = j
+		time.Sleep(2 * time.Millisecond)
+	}
+	ch, err := scenario.RunChunk(&job.Spec, job.Row, job.TrialLo, job.TrialHi, 1)
+	if err != nil {
+		t.Fatalf("RunChunk: %v", err)
+	}
+	req := &completeRequest{WorkerID: w.WorkerID, ChunkID: job.ID, Chunk: ch}
+	if resp := c.complete(req); !resp.Accepted {
+		t.Fatal("first completion not accepted")
+	}
+	if resp := c.complete(req); resp.Accepted {
+		t.Fatal("duplicate completion was accepted")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunScenario: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not finish")
+	}
+	st := c.Stats()
+	if st.ChunksCompleted != 1 {
+		t.Fatalf("ChunksCompleted = %d, want 1", st.ChunksCompleted)
+	}
+	if st.ChunksDuplicate != 1 {
+		t.Fatalf("ChunksDuplicate = %d, want 1", st.ChunksDuplicate)
+	}
+	got, _ := out.MarshalStable()
+	if !bytes.Equal(got, want) {
+		t.Fatal("duplicate delivery changed the merged bytes")
+	}
+}
+
 // TestAllWorkersLostFallsToUnavailable: if every worker dies mid-run the
 // run fails with ErrNoWorkers so the caller can fall back to local
 // execution instead of hanging.
@@ -387,7 +524,7 @@ func TestAllWorkersLostFallsToUnavailable(t *testing.T) {
 	c.register("ghost") // never polls or heartbeats again
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.RunScenario(&fleetSpec)
+		_, err := c.RunScenario(context.Background(), &fleetSpec)
 		done <- err
 	}()
 	select {

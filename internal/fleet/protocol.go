@@ -1,8 +1,48 @@
 package fleet
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
 	"avgloc/internal/scenario"
 )
+
+// envelope frames every worker-protocol body (both directions) with a
+// checksum of its payload. The coordinator validates a completed chunk's
+// shape against its lease, but a bit flip inside a poll response — a
+// corrupted spec seed, a shifted trial bound — would otherwise execute
+// cleanly and poison the merge with plausible wrong bytes. The envelope
+// turns every in-flight corruption into a loud transport error, which the
+// retry paths already handle.
+type envelope struct {
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// sealEnvelope renders v as a checksummed protocol body.
+func sealEnvelope(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	return json.Marshal(envelope{Sum: hex.EncodeToString(sum[:]), Payload: payload})
+}
+
+// openEnvelope verifies a protocol body's checksum and returns the payload.
+func openEnvelope(data []byte) ([]byte, error) {
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("fleet: protocol envelope: %w", err)
+	}
+	sum := sha256.Sum256(e.Payload)
+	if e.Sum != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("fleet: protocol envelope checksum mismatch")
+	}
+	return e.Payload, nil
+}
 
 // ChunkJob is one leased unit of work: execute trials [TrialLo, TrialHi)
 // of sweep row Row of Spec. The spec travels with every lease so workers
@@ -55,6 +95,13 @@ type completeRequest struct {
 
 type completeResponse struct {
 	Accepted bool `json:"accepted"`
+}
+
+// deregisterRequest announces a graceful departure (SIGTERM drain): the
+// coordinator requeues the worker's leases immediately instead of waiting
+// out the heartbeat timeout.
+type deregisterRequest struct {
+	WorkerID string `json:"worker_id"`
 }
 
 // errorResponse is the error rendering of every fleet endpoint.

@@ -6,10 +6,19 @@
 // lets a restarted server keep serving previously computed scenarios. Both
 // tiers are bounded: memory at the configured capacity, disk at a fixed
 // multiple of it (oldest files evicted first).
+//
+// Disk entries are checksummed: every file carries a sha256 of its payload,
+// and a file that fails verification — a torn write, a bit flip, an
+// operator truncation — is moved to a quarantine subdirectory and reported
+// as a miss instead of being served. A corrupt cache entry therefore costs
+// one re-execution, never a poisoned read.
 package resultstore
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -24,7 +33,21 @@ type Stats struct {
 	Misses    int64 `json:"misses"`
 	Puts      int64 `json:"puts"`
 	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
+	// Quarantined counts disk entries that failed checksum verification and
+	// were moved to the quarantine directory instead of being served.
+	Quarantined int64 `json:"quarantined"`
+	Entries     int   `json:"entries"`
+}
+
+// Options carries the optional knobs of NewWithOptions.
+type Options struct {
+	// TamperDiskWrite, if non-nil, intercepts the raw file bytes of every
+	// disk write after the checksum header is attached: it may mutate them
+	// (bit flips), shorten them (torn writes) or drop the write entirely
+	// (return drop=true — the file never appears). It exists for
+	// deterministic fault injection (internal/chaos); the checksum layer
+	// must convert every such corruption into a quarantined miss.
+	TamperDiskWrite func(key string, raw []byte) (out []byte, drop bool)
 }
 
 // Store is a bounded LRU of serialized reports. The zero value is not
@@ -37,6 +60,8 @@ type Store struct {
 	dir   string // "" = memory only
 	stats Stats
 
+	tamper func(key string, raw []byte) ([]byte, bool)
+
 	// The disk tier is bounded too (diskFactor × cap files): a stream of
 	// distinct keys must not fill the disk of a long-running server. Files
 	// are evicted in write order (startup scan ordered by mtime).
@@ -48,6 +73,17 @@ type Store struct {
 // diskFactor sizes the disk tier relative to the memory tier.
 const diskFactor = 16
 
+// QuarantineDir is the subdirectory of the cache directory that corrupt
+// files are moved into. Files under it are never read back or pruned by the
+// store: they are evidence for the operator (and for the chaos harness to
+// assert on), not cache state.
+const QuarantineDir = "quarantine"
+
+// entryMagic heads every disk entry, followed by the hex sha256 of the
+// payload and a newline. A file without this exact framing — including
+// pre-checksum legacy files — fails verification and is quarantined.
+const entryMagic = "avgstore1 "
+
 type entry struct {
 	key string
 	val []byte
@@ -55,8 +91,14 @@ type entry struct {
 
 // New returns a store holding at most capacity entries in memory. If dir is
 // non-empty it is created and every Put is also written there (one file per
-// key, atomic rename), and Get falls back to it on memory misses.
+// key, atomic rename, checksummed), and Get falls back to it on memory
+// misses.
 func New(capacity int, dir string) (*Store, error) {
+	return NewWithOptions(capacity, dir, Options{})
+}
+
+// NewWithOptions is New with fault-injection hooks (see Options).
+func NewWithOptions(capacity int, dir string, opts Options) (*Store, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("resultstore: capacity must be >= 1, got %d", capacity)
 	}
@@ -65,6 +107,7 @@ func New(capacity int, dir string) (*Store, error) {
 		ll:      list.New(),
 		index:   make(map[string]*list.Element),
 		dir:     dir,
+		tamper:  opts.TamperDiskWrite,
 		diskCap: diskFactor * capacity,
 		diskSet: make(map[string]bool),
 	}
@@ -148,9 +191,63 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
+// sealEntry frames payload for disk: magic, payload checksum, newline,
+// payload. Any later mutation of the file — header or payload, one bit or a
+// truncation — breaks verification.
+func sealEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(entryMagic)+hex.EncodedLen(len(sum))+1+len(payload))
+	out = append(out, entryMagic...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	out = append(out, '\n')
+	return append(out, payload...)
+}
+
+// openEntry verifies a disk entry's framing and checksum and returns the
+// payload.
+func openEntry(raw []byte) ([]byte, error) {
+	if !bytes.HasPrefix(raw, []byte(entryMagic)) {
+		return nil, fmt.Errorf("resultstore: entry missing %q header", strings.TrimSpace(entryMagic))
+	}
+	rest := raw[len(entryMagic):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("resultstore: entry header truncated")
+	}
+	payload := rest[nl+1:]
+	sum := sha256.Sum256(payload)
+	if want := string(rest[:nl]); want != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("resultstore: checksum mismatch")
+	}
+	return payload, nil
+}
+
+// quarantineLocked moves a corrupt disk file aside — into dir/quarantine —
+// and drops it from the disk bookkeeping, so it is re-executed on the next
+// request and never served. Caller holds s.mu.
+func (s *Store) quarantineLocked(key string) {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		os.Rename(s.path(key), filepath.Join(qdir, key+".json"))
+	} else {
+		os.Remove(s.path(key))
+	}
+	if s.diskSet[key] {
+		delete(s.diskSet, key)
+		for i, k := range s.diskKeys {
+			if k == key {
+				s.diskKeys = append(s.diskKeys[:i], s.diskKeys[i+1:]...)
+				break
+			}
+		}
+	}
+	s.stats.Quarantined++
+}
+
 // Get returns the cached bytes for key. The returned slice is a copy. A
-// memory miss consults the disk directory (if configured) and re-admits the
-// entry on success.
+// memory miss consults the disk directory (if configured), verifies the
+// entry's checksum, and re-admits it on success; a corrupt file is
+// quarantined and reported as a miss.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	if el, ok := s.index[key]; ok {
@@ -164,9 +261,16 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Unlock()
 
 	if dir != "" && validKey(key) {
-		if data, err := os.ReadFile(s.path(key)); err == nil {
+		if raw, err := os.ReadFile(s.path(key)); err == nil {
+			payload, verr := openEntry(raw)
 			s.mu.Lock()
-			s.admit(key, data)
+			if verr != nil {
+				s.quarantineLocked(key)
+				s.stats.Misses++
+				s.mu.Unlock()
+				return nil, false
+			}
+			s.admit(key, append([]byte(nil), payload...))
 			// A file that appeared after the startup scan (another writer,
 			// an operator copy) must join the disk bookkeeping here, or it
 			// would stay invisible to pruneDiskLocked forever and leak past
@@ -178,7 +282,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 			}
 			s.stats.Hits++
 			s.mu.Unlock()
-			return append([]byte(nil), data...), true
+			return append([]byte(nil), payload...), true
 		}
 	}
 	s.mu.Lock()
@@ -188,7 +292,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 }
 
 // Put stores val under key, evicting the least recently used entry when the
-// store is full, and persists to disk when configured.
+// store is full, and persists to disk (checksummed) when configured.
 func (s *Store) Put(key string, val []byte) error {
 	if !validKey(key) {
 		return fmt.Errorf("resultstore: invalid key %q", key)
@@ -203,11 +307,18 @@ func (s *Store) Put(key string, val []byte) error {
 	if dir == "" {
 		return nil
 	}
+	raw := sealEntry(cp)
+	if s.tamper != nil {
+		var drop bool
+		if raw, drop = s.tamper(key, raw); drop {
+			return nil // injected "missing file": the write never lands
+		}
+	}
 	tmp, err := os.CreateTemp(dir, "put-*")
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	if _, err := tmp.Write(cp); err != nil {
+	if _, err := tmp.Write(raw); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: %w", err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -138,9 +139,10 @@ func TestDiskFallbackRegistersKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The file appears after the startup scan (another writer, an operator
-	// copy) — the store learns of it only through the Get fallback.
+	// copy) — the store learns of it only through the Get fallback. It must
+	// carry the checksum framing or it would be quarantined, not admitted.
 	outOfBand := "00ab-s3"
-	if err := os.WriteFile(s.path(outOfBand), []byte("out of band"), 0o644); err != nil {
+	if err := os.WriteFile(s.path(outOfBand), sealEntry([]byte("out of band")), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(outOfBand); !ok {
@@ -169,6 +171,155 @@ func TestDiskFallbackRegistersKey(t *testing.T) {
 	}
 	if len(files) > diskFactor {
 		t.Fatalf("disk tier holds %d files, want <= %d", len(files), diskFactor)
+	}
+}
+
+// corruptOnDisk evicts key from memory (so the next Get must consult disk)
+// and rewrites its file through mutate.
+func corruptOnDisk(t *testing.T, s *Store, key string, mutate func([]byte) []byte) {
+	t.Helper()
+	s.mu.Lock()
+	if el, ok := s.index[key]; ok {
+		s.ll.Remove(el)
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), mutate(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptDiskEntryQuarantined: every corruption class — a flipped bit,
+// a torn (truncated) write, a legacy file without the checksum header — is
+// quarantined on read and reported as a miss, never served; and the key is
+// immediately writable again (re-execution repairs the cache).
+func TestCorruptDiskEntryQuarantined(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bitflip", func(raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			out[len(out)-1] ^= 0x40
+			return out
+		}},
+		{"torn", func(raw []byte) []byte { return raw[:len(raw)/2] }},
+		{"legacy", func([]byte) []byte { return []byte(`{"no":"header"}`) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := New(2, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := "ab12-s7"
+			if err := s.Put(key, []byte("good payload")); err != nil {
+				t.Fatal(err)
+			}
+			corruptOnDisk(t, s, key, tc.mutate)
+			if _, ok := s.Get(key); ok {
+				t.Fatal("corrupt disk entry was served")
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+			}
+			if _, err := os.Stat(s.path(key)); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file still in cache dir (err=%v)", err)
+			}
+			qpath := filepath.Join(dir, QuarantineDir, key+".json")
+			if _, err := os.Stat(qpath); err != nil {
+				t.Fatalf("corrupt file not in quarantine: %v", err)
+			}
+			// The key is re-executable: a fresh Put round-trips through disk.
+			if err := s.Put(key, []byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			corruptOnDisk(t, s, key, func(raw []byte) []byte { return raw })
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, []byte("recomputed")) {
+				t.Fatalf("re-put after quarantine not served: %q ok=%v", got, ok)
+			}
+		})
+	}
+}
+
+// TestTamperDiskWrite: the chaos hook can corrupt or drop disk writes; the
+// checksum layer turns corrupted writes into quarantined misses and dropped
+// writes into plain misses, while the memory tier stays pristine.
+func TestTamperDiskWrite(t *testing.T) {
+	dir := t.TempDir()
+	mode := "corrupt"
+	s, err := NewWithOptions(1, dir, Options{
+		TamperDiskWrite: func(key string, raw []byte) ([]byte, bool) {
+			switch mode {
+			case "corrupt":
+				out := append([]byte(nil), raw...)
+				out[len(out)-1] ^= 1
+				return out, false
+			case "drop":
+				return nil, true
+			default:
+				return raw, false
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("aa-s1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Memory tier serves the pristine payload despite the corrupted file.
+	if got, ok := s.Get("aa-s1"); !ok || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("memory tier polluted: %q ok=%v", got, ok)
+	}
+	s.Put("bb-s1", []byte("evictor")) // push aa-s1 out of memory (cap 1)
+	if _, ok := s.Get("aa-s1"); ok {
+		t.Fatal("corrupted disk write was served")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+
+	mode = "drop"
+	if err := s.Put("cc-s1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.path("cc-s1")); !os.IsNotExist(err) {
+		t.Fatalf("dropped write produced a file (err=%v)", err)
+	}
+	s.Put("dd-s1", []byte("evictor2"))
+	if _, ok := s.Get("cc-s1"); ok {
+		t.Fatal("dropped write somehow served from disk")
+	}
+}
+
+// TestQuarantineNotRescanned: quarantined files are not picked up by a
+// restart's directory scan.
+func TestQuarantineNotRescanned(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "ee-s2"
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	corruptOnDisk(t, s, key, func(raw []byte) []byte { return raw[:3] })
+	if _, ok := s.Get(key); ok {
+		t.Fatal("torn entry served")
+	}
+	s2, err := New(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("quarantined file served after restart")
 	}
 }
 

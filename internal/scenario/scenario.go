@@ -7,6 +7,7 @@
 package scenario
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -227,6 +228,11 @@ type Options struct {
 	// is derived from (seed, row, trial) alone and rows merge in row
 	// order, so outcomes are byte-identical at every level.
 	Parallelism int
+	// Ctx, if non-nil, cancels the run between rows: a cancelled request
+	// (client gone, deadline hit) stops paying for rows whose results
+	// nobody will read. Cancellation is row-granular — a row in flight
+	// finishes — and surfaces as ctx.Err(), never as a partial outcome.
+	Ctx context.Context
 }
 
 // graphStream returns the PRNG that generates row i's graph: derived from
@@ -339,6 +345,9 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 	rowParams := rowParamsOf(n)
 	rows := make([]Row, len(rowParams))
 	err = runRows(len(rowParams), opt.Parallelism, func(i, measurePar int) error {
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return opt.Ctx.Err()
+		}
 		// Each row builds its own graph from a row-derived generator
 		// stream, so the graph is identical at every parallelism level and
 		// at most rowWorkers graphs are live at once.
