@@ -13,14 +13,18 @@
 // derived from the master seed, never from scheduling.
 //
 // With -json, per-experiment wall-clock, allocation and table statistics
-// are written to the given file as the "current" block. If the file already
-// exists, its "baseline" block is preserved; if it exists without one, the
-// previous "current" becomes the new "baseline". Running it once, changing
-// the code, and running it again therefore yields a before/after record.
+// are appended to the given file as one block of an immutable trajectory
+// (schema 2; legacy baseline/current files migrate on first append). Each
+// PR appends one block, so the file is the project's perf history.
+//
+// With -check the experiments are not run: the newest trajectory block is
+// gated against its predecessor and the command fails if any experiment's
+// allocations (deterministic, tight tolerance) or wall clock (noisy,
+// loose tolerance; 0 disables) regressed beyond -max-alloc-ratio /
+// -max-wall-ratio.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -60,22 +64,25 @@ type benchBlock struct {
 	Experiments []expStats `json:"experiments"`
 }
 
-// benchFile is the BENCH_results.json schema.
-type benchFile struct {
-	Schema   int         `json:"schema"`
-	Suite    string      `json:"suite"`
-	Baseline *benchBlock `json:"baseline,omitempty"`
-	Current  *benchBlock `json:"current"`
-}
-
 func run() error {
 	onlyFlag := flag.String("only", "", "comma-separated experiment ids to run, e.g. E1,E3 (default: all)")
 	expFlag := flag.String("exp", "", "deprecated alias of -only")
 	full := flag.Bool("full", false, "full-scale sweeps (minutes instead of seconds)")
 	seed := flag.Uint64("seed", 42, "master seed")
 	parallel := flag.Int("parallel", 0, "worker budget per experiment (0 = GOMAXPROCS, 1 = sequential)")
-	jsonPath := flag.String("json", "", "write per-experiment wall-clock/alloc stats to this file")
+	jsonPath := flag.String("json", "", "append per-experiment wall-clock/alloc stats to this trajectory file")
+	label := flag.String("label", "", "label for the appended trajectory block (default \"avgbench <scale>\")")
+	check := flag.Bool("check", false, "perf gate: compare the newest -json block against its predecessor instead of running")
+	maxWallRatio := flag.Float64("max-wall-ratio", 0, "-check: fail if wall clock grew beyond this ratio (0 = ignore wall, it is machine-noisy)")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 1.25, "-check: fail if allocations grew beyond this ratio (0 = ignore)")
 	flag.Parse()
+
+	if *check {
+		if *jsonPath == "" {
+			return fmt.Errorf("-check needs -json <trajectory file>")
+		}
+		return runCheck(*jsonPath, *maxWallRatio, *maxAllocRatio)
+	}
 
 	opt := harness.Options{Scale: harness.Quick, Seed: *seed, Parallelism: *parallel}
 	if *full {
@@ -102,8 +109,12 @@ func run() error {
 	if *full {
 		scaleName = "full"
 	}
+	blockLabel := *label
+	if blockLabel == "" {
+		blockLabel = "avgbench " + scaleName
+	}
 	block := &benchBlock{
-		Label:       "avgbench " + scaleName,
+		Label:       blockLabel,
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Parallelism: *parallel,
@@ -138,35 +149,5 @@ func run() error {
 	if *jsonPath != "" {
 		return writeJSON(*jsonPath, block)
 	}
-	return nil
-}
-
-// writeJSON stores block as the "current" measurement, keeping (or
-// promoting) the previous content as "baseline".
-func writeJSON(path string, block *benchBlock) error {
-	out := benchFile{
-		Schema: 1,
-		Suite:  "avgbench E1-E14; regenerate with: go run ./cmd/avgbench -json " + path,
-	}
-	if prev, err := os.ReadFile(path); err == nil {
-		var old benchFile
-		if err := json.Unmarshal(prev, &old); err == nil {
-			if old.Baseline != nil {
-				out.Baseline = old.Baseline
-			} else if old.Current != nil {
-				out.Baseline = old.Current
-			}
-		}
-	}
-	out.Current = block
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "avgbench: wrote %s (total %.2fs)\n", path, float64(block.TotalWallNs)/1e9)
 	return nil
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchFile is the BENCH_results.json schema (schema 2): an append-only
+// trajectory of measured blocks, one per PR / regeneration, oldest first.
+// The perf gate (-check) compares the newest block against its
+// predecessor, so the file doubles as the regression baseline — no
+// separate "promote to baseline" step exists anymore.
+type benchFile struct {
+	Schema     int          `json:"schema"`
+	Suite      string       `json:"suite"`
+	Trajectory []benchBlock `json:"trajectory"`
+}
+
+// schema1File is the legacy overwrite-style layout, kept for migration.
+type schema1File struct {
+	Schema   int         `json:"schema"`
+	Suite    string      `json:"suite"`
+	Baseline *benchBlock `json:"baseline"`
+	Current  *benchBlock `json:"current"`
+}
+
+// loadBench parses either schema. Schema-1 files migrate in memory:
+// baseline becomes trajectory[0], current trajectory[1].
+func loadBench(data []byte) (*benchFile, error) {
+	var probe struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, err
+	}
+	switch probe.Schema {
+	case 2:
+		var f benchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, err
+		}
+		return &f, nil
+	case 1:
+		var old schema1File
+		if err := json.Unmarshal(data, &old); err != nil {
+			return nil, err
+		}
+		f := &benchFile{Schema: 2, Suite: old.Suite}
+		if old.Baseline != nil {
+			f.Trajectory = append(f.Trajectory, *old.Baseline)
+		}
+		if old.Current != nil {
+			f.Trajectory = append(f.Trajectory, *old.Current)
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("unknown bench schema %d", probe.Schema)
+	}
+}
+
+// writeJSON appends block to the trajectory in path, migrating schema-1
+// files on the way. A missing or unreadable file starts a fresh trajectory.
+func writeJSON(path string, block *benchBlock) error {
+	out := &benchFile{
+		Schema: 2,
+		Suite:  "avgbench E1-E14; append a block with: go run ./cmd/avgbench -json " + path,
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		if old, err := loadBench(prev); err == nil {
+			out.Trajectory = old.Trajectory
+		}
+	}
+	out.Trajectory = append(out.Trajectory, *block)
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "avgbench: appended block %d to %s (total %.2fs)\n",
+		len(out.Trajectory), path, float64(block.TotalWallNs)/1e9)
+	return nil
+}
+
+// checkTrajectory compares the newest block against its predecessor and
+// returns one violation line per experiment that regressed beyond
+// tolerance. maxAllocRatio gates allocation counts (deterministic, so the
+// tolerance can be tight); maxWallRatio gates wall clock (noisy across
+// machines — pass 0 to skip it). Experiments present in only one block
+// are ignored: the gate judges regressions, not catalogue changes.
+func checkTrajectory(f *benchFile, maxWallRatio, maxAllocRatio float64) []string {
+	if len(f.Trajectory) < 2 {
+		return nil
+	}
+	prev := f.Trajectory[len(f.Trajectory)-2]
+	cur := f.Trajectory[len(f.Trajectory)-1]
+	prevBy := make(map[string]expStats, len(prev.Experiments))
+	for _, e := range prev.Experiments {
+		prevBy[e.ID] = e
+	}
+	var bad []string
+	for _, e := range cur.Experiments {
+		p, ok := prevBy[e.ID]
+		if !ok {
+			continue
+		}
+		if maxAllocRatio > 0 && p.Allocs > 0 {
+			if ratio := float64(e.Allocs) / float64(p.Allocs); ratio > maxAllocRatio {
+				bad = append(bad, fmt.Sprintf("%s: allocs %d -> %d (%.2fx > %.2fx tolerance) [%q -> %q]",
+					e.ID, p.Allocs, e.Allocs, ratio, maxAllocRatio, prev.Label, cur.Label))
+			}
+		}
+		if maxWallRatio > 0 && p.WallNs > 0 {
+			if ratio := float64(e.WallNs) / float64(p.WallNs); ratio > maxWallRatio {
+				bad = append(bad, fmt.Sprintf("%s: wall %.1fms -> %.1fms (%.2fx > %.2fx tolerance) [%q -> %q]",
+					e.ID, float64(p.WallNs)/1e6, float64(e.WallNs)/1e6, ratio, maxWallRatio, prev.Label, cur.Label))
+			}
+		}
+	}
+	return bad
+}
+
+// runCheck is the -check mode: load the trajectory, gate the newest block
+// against its predecessor, and fail loudly on any regression.
+func runCheck(path string, maxWallRatio, maxAllocRatio float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	f, err := loadBench(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Trajectory) < 2 {
+		fmt.Fprintf(os.Stderr, "avgbench: %s has %d block(s), nothing to compare\n", path, len(f.Trajectory))
+		return nil
+	}
+	bad := checkTrajectory(f, maxWallRatio, maxAllocRatio)
+	if len(bad) == 0 {
+		fmt.Fprintf(os.Stderr, "avgbench: perf gate ok (%d blocks, newest %q)\n",
+			len(f.Trajectory), f.Trajectory[len(f.Trajectory)-1].Label)
+		return nil
+	}
+	for _, line := range bad {
+		fmt.Fprintln(os.Stderr, "avgbench: REGRESSION "+line)
+	}
+	return fmt.Errorf("%d perf regression(s) beyond tolerance", len(bad))
+}

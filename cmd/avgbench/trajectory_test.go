@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const schema1Fixture = `{
+  "schema": 1,
+  "suite": "avgbench E1-E14",
+  "baseline": {
+    "label": "seed",
+    "total_wall_ns": 100,
+    "experiments": [{"id": "E1", "wall_ns": 100, "allocs": 1000, "bytes": 1, "rows": 3, "table_fnv64": "aa"}]
+  },
+  "current": {
+    "label": "pr1",
+    "total_wall_ns": 90,
+    "experiments": [{"id": "E1", "wall_ns": 90, "allocs": 1100, "bytes": 1, "rows": 3, "table_fnv64": "aa"}]
+  }
+}`
+
+// TestLoadBenchMigratesSchema1: legacy baseline/current files read as a
+// two-block trajectory, oldest first.
+func TestLoadBenchMigratesSchema1(t *testing.T) {
+	f, err := loadBench([]byte(schema1Fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != 2 || len(f.Trajectory) != 2 {
+		t.Fatalf("migrated file: schema=%d blocks=%d", f.Schema, len(f.Trajectory))
+	}
+	if f.Trajectory[0].Label != "seed" || f.Trajectory[1].Label != "pr1" {
+		t.Fatalf("block order: %q, %q", f.Trajectory[0].Label, f.Trajectory[1].Label)
+	}
+	if f.Trajectory[1].Experiments[0].Allocs != 1100 {
+		t.Fatalf("experiment stats lost in migration: %+v", f.Trajectory[1].Experiments)
+	}
+}
+
+func TestLoadBenchRejectsUnknownSchema(t *testing.T) {
+	if _, err := loadBench([]byte(`{"schema": 9}`)); err == nil {
+		t.Fatal("schema 9 accepted")
+	}
+	if _, err := loadBench([]byte(`nope`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestWriteJSONAppends: successive writes grow the trajectory instead of
+// overwriting, and a schema-1 file migrates on first append.
+func TestWriteJSONAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(schema1Fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b3 := &benchBlock{Label: "pr2", Experiments: []expStats{{ID: "E1", WallNs: 95, Allocs: 1050}}}
+	if err := writeJSON(path, b3); err != nil {
+		t.Fatal(err)
+	}
+	b4 := &benchBlock{Label: "pr3", Experiments: []expStats{{ID: "E1", WallNs: 96, Allocs: 1040}}}
+	if err := writeJSON(path, b4); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != 2 {
+		t.Fatalf("schema = %d", f.Schema)
+	}
+	var labels []string
+	for _, b := range f.Trajectory {
+		labels = append(labels, b.Label)
+	}
+	if got := strings.Join(labels, ","); got != "seed,pr1,pr2,pr3" {
+		t.Fatalf("trajectory = %s", got)
+	}
+}
+
+func trajOf(blocks ...benchBlock) *benchFile {
+	return &benchFile{Schema: 2, Trajectory: blocks}
+}
+
+func TestCheckTrajectoryGate(t *testing.T) {
+	ok := benchBlock{Label: "prev", Experiments: []expStats{
+		{ID: "E1", WallNs: 100, Allocs: 1000},
+		{ID: "E2", WallNs: 200, Allocs: 2000},
+	}}
+	within := benchBlock{Label: "cur", Experiments: []expStats{
+		{ID: "E1", WallNs: 110, Allocs: 1200}, // 1.2x, inside 1.25x
+		{ID: "E2", WallNs: 190, Allocs: 1900},
+	}}
+	if bad := checkTrajectory(trajOf(ok, within), 0, 1.25); len(bad) != 0 {
+		t.Fatalf("false positive: %v", bad)
+	}
+
+	// Alloc regression beyond tolerance trips the gate.
+	blown := benchBlock{Label: "cur", Experiments: []expStats{
+		{ID: "E1", WallNs: 100, Allocs: 1000},
+		{ID: "E2", WallNs: 200, Allocs: 4000}, // 2x
+	}}
+	bad := checkTrajectory(trajOf(ok, blown), 0, 1.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "E2") || !strings.Contains(bad[0], "allocs") {
+		t.Fatalf("alloc regression not flagged: %v", bad)
+	}
+
+	// Wall gate only fires when enabled.
+	slow := benchBlock{Label: "cur", Experiments: []expStats{
+		{ID: "E1", WallNs: 1000, Allocs: 1000}, // 10x wall
+		{ID: "E2", WallNs: 200, Allocs: 2000},
+	}}
+	if bad := checkTrajectory(trajOf(ok, slow), 0, 1.25); len(bad) != 0 {
+		t.Fatalf("wall gate fired while disabled: %v", bad)
+	}
+	bad = checkTrajectory(trajOf(ok, slow), 3.0, 1.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "wall") {
+		t.Fatalf("wall regression not flagged: %v", bad)
+	}
+
+	// New experiments (no predecessor) and single-block files never gate.
+	grown := benchBlock{Label: "cur", Experiments: []expStats{{ID: "E99", WallNs: 1, Allocs: 1}}}
+	if bad := checkTrajectory(trajOf(ok, grown), 3.0, 1.25); len(bad) != 0 {
+		t.Fatalf("new experiment gated: %v", bad)
+	}
+	if bad := checkTrajectory(trajOf(ok), 3.0, 1.25); bad != nil {
+		t.Fatalf("single block gated: %v", bad)
+	}
+}
+
+// TestRunCheckSyntheticRegression is the CI gate in miniature: a copy of
+// the trajectory with the newest block's allocs inflated must fail -check.
+func TestRunCheckSyntheticRegression(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	data, err := json.MarshalIndent(trajOf(
+		benchBlock{Label: "prev", Experiments: []expStats{{ID: "E1", WallNs: 100, Allocs: 1000}}},
+		benchBlock{Label: "cur", Experiments: []expStats{{ID: "E1", WallNs: 100, Allocs: 1001}}},
+	), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck(good, 0, 1.25); err != nil {
+		t.Fatalf("clean trajectory failed the gate: %v", err)
+	}
+
+	regressed := filepath.Join(dir, "bad.json")
+	bad := strings.Replace(string(data), `"allocs": 1001`, `"allocs": 10000`, 1)
+	if err := os.WriteFile(regressed, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck(regressed, 0, 1.25); err == nil {
+		t.Fatal("synthetic regression passed the gate")
+	}
+}

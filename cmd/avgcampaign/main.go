@@ -41,6 +41,7 @@ import (
 
 	"avgloc/internal/campaign"
 	"avgloc/internal/fleet"
+	"avgloc/internal/obs"
 	"avgloc/internal/resultstore"
 )
 
@@ -59,6 +60,7 @@ func run() error {
 	cacheDir := flag.String("cache-dir", "", "optional persistent result cache directory (in-process mode)")
 	cacheSize := flag.Int("cache-size", 256, "in-memory result cache entries (in-process mode)")
 	strict := flag.Bool("strict", false, "exit non-zero when any hypothesis is REJECTED or INCONCLUSIVE")
+	tracePath := flag.String("trace", "", "write a flight-recorder trace artifact (NDJSON, read with avgtrace) for the in-process run")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: avgcampaign [flags] campaign.json")
@@ -78,11 +80,33 @@ func run() error {
 		stop()
 	}()
 
+	// The flight recorder brackets the whole invocation; spans nest under
+	// this root via the context (campaign.run -> scenario rows or fleet
+	// chunks). Tracing never alters the report bytes.
+	var tracer *obs.Tracer
+	if *tracePath != "" && *server == "" {
+		if tracer, err = obs.Create(*tracePath, "avgcampaign", obs.A("file", flag.Arg(0))); err != nil {
+			return err
+		}
+	}
+
 	var rep *campaign.Report
 	if *server != "" {
 		rep, err = runRemote(*server, data)
 	} else {
-		rep, err = runLocal(ctx, data, *parallelism, *cacheDir, *cacheSize, *fleetListen)
+		root := tracer.Span(nil, "request", obs.A("parallelism", *parallelism))
+		rep, err = runLocal(obs.With(ctx, root), data, *parallelism, *cacheDir, *cacheSize, *fleetListen)
+		if err != nil {
+			root.End(obs.A("error", err.Error()))
+		} else {
+			root.End()
+		}
+		if cerr := tracer.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if tracer != nil {
+			fmt.Fprintf(os.Stderr, "trace: %d lines -> %s (inspect: avgtrace %s)\n", tracer.Lines(), *tracePath, *tracePath)
+		}
 	}
 	if err != nil {
 		return err

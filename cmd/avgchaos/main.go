@@ -43,6 +43,7 @@ import (
 	"avgloc/internal/campaign"
 	"avgloc/internal/chaos"
 	"avgloc/internal/fleet"
+	"avgloc/internal/obs"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
 )
@@ -114,7 +115,26 @@ func run() error {
 	outPath := flag.String("out", "", "write the concatenated per-stage report bytes here (cmp across invocations)")
 	trials := flag.Int("trials", 6, "trials per scenario (chunked at 2 per lease)")
 	nWorkers := flag.Int("workers", 3, "fleet workers")
+	tracePath := flag.String("trace", "", "write a flight-recorder trace artifact (NDJSON, read with avgtrace) covering every stage's fleet passes")
 	flag.Parse()
+
+	// The flight recorder sees the whole soak: per-stage root spans plus the
+	// coordinator's chunk lease/steal/complete events and the workers' exec
+	// spans, all in one artifact. Tracing never changes the report bytes —
+	// the byte-identity checks below run with it armed.
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		var err error
+		if tracer, err = obs.Create(*tracePath, "avgchaos", obs.A("seed", *seed)); err != nil {
+			return err
+		}
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "avgchaos: closing trace: %v\n", err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d lines -> %s (inspect: avgtrace %s)\n", tracer.Lines(), *tracePath, *tracePath)
+		}()
+	}
 
 	inj, err := chaos.New(chaos.Plan{}, *seed)
 	if err != nil {
@@ -137,6 +157,7 @@ func run() error {
 		StealAfter:       300 * time.Millisecond,
 		PollInterval:     20 * time.Millisecond,
 		Store:            store,
+		Trace:            tracer,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -163,6 +184,7 @@ func run() error {
 			Seed:        *seed + uint64(i) + 1,
 			DrainGrace:  5 * time.Second,
 			Client:      &http.Client{Transport: inj.Transport(nil)},
+			Trace:       tracer,
 		}
 		wg.Add(1)
 		go func() {
@@ -208,11 +230,14 @@ func run() error {
 				cancels[0]()
 			}()
 		}
-		cold, err := fleetPass(c, coord)
+		stageSpan := tracer.Span(nil, "chaos.stage", obs.A("stage", st.plan.Name), obs.A("drain", st.drain))
+		cold, err := fleetPass(c, coord, stageSpan, "cold")
 		if err != nil {
+			stageSpan.End(obs.A("error", err.Error()))
 			return fmt.Errorf("stage %s: fleet pass: %w", st.plan.Name, err)
 		}
-		warm, err := fleetPass(c, coord)
+		warm, err := fleetPass(c, coord, stageSpan, "warm")
+		stageSpan.End()
 		if err != nil {
 			return fmt.Errorf("stage %s: warm replay: %w", st.plan.Name, err)
 		}
@@ -273,11 +298,19 @@ func run() error {
 }
 
 // fleetPass runs the campaign through the coordinator and returns its
-// stable report bytes.
-func fleetPass(c *campaign.Campaign, coord *fleet.Coordinator) ([]byte, error) {
-	rep, err := campaign.Run(c, campaign.Options{Parallelism: 2, Execute: coord.Execute})
+// stable report bytes. The pass span (a child of the stage span) parents
+// the campaign/fleet spans via the context.
+func fleetPass(c *campaign.Campaign, coord *fleet.Coordinator, stage *obs.Span, pass string) ([]byte, error) {
+	span := stage.Span("chaos.pass", obs.A("pass", pass))
+	rep, err := campaign.Run(c, campaign.Options{
+		Parallelism: 2,
+		Execute:     coord.Execute,
+		Ctx:         obs.With(context.Background(), span),
+	})
 	if err != nil {
+		span.End(obs.A("error", err.Error()))
 		return nil, err
 	}
+	span.End()
 	return rep.MarshalStable()
 }

@@ -18,7 +18,9 @@
 // Endpoints:
 //
 //	GET  /healthz                 liveness + cache statistics
-//	GET  /v1/metrics              cache hit/miss counters, in-flight jobs, run totals
+//	GET  /v1/metrics              cache hit/miss counters, in-flight jobs, run totals (JSON)
+//	GET  /metrics                 the same counters in Prometheus text format
+//	GET  /debug/pprof/*           net/http/pprof (-pprof mode)
 //	GET  /v1/registry             graph families and algorithms, JSON
 //	POST /v1/run                  run a scenario spec synchronously
 //	POST /v1/batch                run up to 32 specs; streams NDJSON completions
@@ -74,11 +76,18 @@ func run() error {
 	breakerThreshold := flag.Int("breaker-threshold", fleet.DefaultBreakerThreshold, "consecutive fleet failures before dispatch trips to local execution")
 	breakerCooldown := flag.Duration("breaker-cooldown", fleet.DefaultBreakerCooldown, "how long a tripped breaker routes around the fleet before re-probing")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound for in-flight requests on SIGTERM/SIGINT")
+	traceDir := flag.String("trace-dir", "", "write a flight-recorder trace artifact per executed run into this directory (read with avgtrace)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	store, err := resultstore.New(*cacheSize, *cacheDir)
 	if err != nil {
 		return err
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fmt.Errorf("creating -trace-dir: %w", err)
+		}
 	}
 	cfg := serverConfig{
 		store:            store,
@@ -87,6 +96,8 @@ func run() error {
 		requestTimeout:   *requestTimeout,
 		breakerThreshold: *breakerThreshold,
 		breakerCooldown:  *breakerCooldown,
+		traceDir:         *traceDir,
+		pprof:            *pprofFlag,
 	}
 	if cfg.workers < 1 {
 		cfg.workers = 1
@@ -101,8 +112,8 @@ func run() error {
 		})
 	}
 	srv := newServerCfg(cfg)
-	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q fleet=%v timeout=%v)",
-		*addr, *workers, *parallelism, *cacheSize, *cacheDir, *fleetMode, *requestTimeout)
+	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q fleet=%v timeout=%v trace=%q pprof=%v)",
+		*addr, *workers, *parallelism, *cacheSize, *cacheDir, *fleetMode, *requestTimeout, *traceDir, *pprofFlag)
 
 	// Graceful drain on SIGTERM/SIGINT: stop accepting, let in-flight
 	// requests (and their fleet chunks) finish within -drain-timeout, then

@@ -10,11 +10,14 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"avgloc/internal/campaign"
 	"avgloc/internal/fleet"
+	"avgloc/internal/obs"
 	"avgloc/internal/registry"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
@@ -69,6 +72,12 @@ type server struct {
 	// unbounded); it propagates as a context through scenario and fleet
 	// execution, so an expired request stops computing rows.
 	requestTimeout time.Duration
+	// reg is the unified metrics registry: both GET /v1/metrics (legacy
+	// JSON) and GET /metrics (Prometheus text) read the same atomics.
+	reg *obs.Registry
+	// traceDir, when non-empty, makes every executed job write a flight
+	// recorder artifact at <traceDir>/<key>.trace.ndjson.
+	traceDir string
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -76,18 +85,21 @@ type server struct {
 	inflight map[string]*job // cache key -> queued/running job, for dedup
 	nextID   int
 
-	// Traffic counters behind GET /v1/metrics; store hit/miss counts live
-	// in the store's own Stats.
-	jobsTotal      int64
-	runsCompleted  int64
-	runsFailed     int64
-	runsCached     int64
-	runsFleet      int64 // completed runs executed by the worker fleet
-	campaignsTotal int64
-	// deadlineExceeded counts runs killed by -request-timeout.
-	deadlineExceeded int64
+	// Traffic counters are registry atomics (obs.Counter): incremented
+	// from the handler pool and worker goroutines without holding s.mu,
+	// and read identically by both metrics endpoints. Store hit/miss
+	// counts live in the store's own Stats.
+	jobsTotal        *obs.Counter
+	runsCompleted    *obs.Counter
+	runsFailed       *obs.Counter
+	runsCached       *obs.Counter
+	runsFleet        *obs.Counter // completed runs executed by the worker fleet
+	campaignsTotal   *obs.Counter
+	deadlineExceeded *obs.Counter // runs killed by -request-timeout
+	runSeconds       *obs.Histogram
 	// ewmaRunSec tracks the observed per-run duration (exponential moving
-	// average), feeding the dynamic Retry-After computation.
+	// average), feeding the dynamic Retry-After computation. It stays
+	// under s.mu: the fold is a read-modify-write, not a counter.
 	ewmaRunSec float64
 }
 
@@ -106,6 +118,10 @@ type serverConfig struct {
 	// circuit breaker (zero values select the fleet defaults).
 	breakerThreshold int
 	breakerCooldown  time.Duration
+	// traceDir enables per-job flight-recorder artifacts ("" = off).
+	traceDir string
+	// pprof mounts net/http/pprof under /debug/pprof/.
+	pprof bool
 }
 
 // newServer starts `workers` pool goroutines and returns the ready server.
@@ -134,17 +150,28 @@ func newServerCfg(cfg serverConfig) *server {
 		retain:         4096,
 		coord:          cfg.coord,
 		requestTimeout: cfg.requestTimeout,
+		reg:            obs.NewRegistry(),
+		traceDir:       cfg.traceDir,
 		jobs:           make(map[string]*job),
 		inflight:       make(map[string]*job),
 	}
 	if cfg.coord != nil {
 		s.breaker = fleet.NewBreaker(cfg.breakerThreshold, cfg.breakerCooldown)
 	}
+	s.registerMetrics()
 	for w := 0; w < cfg.workers; w++ {
 		go s.worker()
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	if cfg.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -160,6 +187,47 @@ func newServerCfg(cfg serverConfig) *server {
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// registerMetrics names every observable of the process on the unified
+// registry. The catalogue is documented in README.md ("Observability").
+func (s *server) registerMetrics() {
+	s.jobsTotal = s.reg.Counter("avg_jobs_total", "Jobs registered (cached, deduped and executed).")
+	s.runsCompleted = s.reg.Counter("avg_runs_completed_total", "Jobs that finished with a result.")
+	s.runsFailed = s.reg.Counter("avg_runs_failed_total", "Jobs that finished with an error.")
+	s.runsCached = s.reg.Counter("avg_runs_cached_total", "Jobs answered from the result store without executing.")
+	s.runsFleet = s.reg.Counter("avg_runs_fleet_total", "Completed runs executed by the worker fleet.")
+	s.campaignsTotal = s.reg.Counter("avg_campaigns_total", "Campaign documents accepted.")
+	s.deadlineExceeded = s.reg.Counter("avg_deadline_exceeded_total", "Runs killed by the -request-timeout deadline.")
+	s.runSeconds = s.reg.Histogram("avg_run_seconds", "Wall-clock duration of executed (non-cached) runs.")
+	s.reg.GaugeFunc("avg_in_flight", "Jobs queued or running (deduped).", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.inflight))
+	})
+	s.reg.GaugeFunc("avg_queue_depth", "Jobs waiting in the dispatch queue.", func() float64 {
+		return float64(len(s.queue))
+	})
+	s.reg.GaugeFunc("avg_retry_after_seconds", "Current Retry-After hint handed to shed requests.", func() float64 {
+		return float64(s.retryAfter())
+	})
+	s.store.RegisterMetrics(s.reg)
+	if s.coord != nil {
+		s.coord.RegisterMetrics(s.reg)
+	}
+	if s.breaker != nil {
+		s.reg.GaugeFunc("avg_fleet_breaker_state", "Fleet dispatch breaker: 0 closed, 1 open, 2 half-open.", func() float64 {
+			switch s.breaker.State() {
+			case "open":
+				return 1
+			case "half-open":
+				return 2
+			default:
+				return 0
+			}
+		})
+		s.reg.CounterFunc("avg_fleet_breaker_trips_total", "Times the fleet dispatch breaker opened.", s.breaker.Trips)
+	}
+}
 
 func (s *server) worker() {
 	for j := range s.queue {
@@ -177,7 +245,21 @@ func (s *server) worker() {
 func (s *server) execute(j *job) {
 	s.setStatus(j, statusRunning, "")
 	start := time.Now()
-	out, viaFleet, err := s.runSpec(j.ctx, j.spec)
+	// With -trace-dir set, every executed job writes its own flight
+	// recorder artifact keyed by the run hash. Tracer errors are logged,
+	// never fatal: a nil tracer (and nil span) no-ops all recording.
+	var tracer *obs.Tracer
+	if s.traceDir != "" {
+		var terr error
+		tracer, terr = obs.Create(filepath.Join(s.traceDir, j.Key+".trace.ndjson"), "avgserve.job",
+			obs.A("job", j.ID), obs.A("key", j.Key))
+		if terr != nil {
+			log.Printf("avgserve: trace artifact for %s: %v", j.Key, terr)
+		}
+	}
+	reqSpan := tracer.Span(nil, "request", obs.A("job", j.ID), obs.A("key", j.Key))
+	ctx := obs.With(j.ctx, reqSpan)
+	out, viaFleet, err := s.runSpec(ctx, j.spec)
 	if j.cancel != nil {
 		j.cancel()
 	}
@@ -186,25 +268,38 @@ func (s *server) execute(j *job) {
 		data, err = out.MarshalStable()
 	}
 	if err == nil {
-		s.noteRunSeconds(time.Since(start).Seconds())
-		if perr := s.store.Put(j.Key, data); perr != nil {
+		sec := time.Since(start).Seconds()
+		s.noteRunSeconds(sec)
+		s.runSeconds.Observe(sec)
+		ps := reqSpan.Span("store.put", obs.A("key", j.Key))
+		perr := s.store.Put(j.Key, data)
+		ps.End()
+		if perr != nil {
 			log.Printf("avgserve: caching %s: %v", j.Key, perr)
 		}
+	}
+	if err != nil {
+		reqSpan.End(obs.A("via_fleet", viaFleet), obs.A("error", err.Error()))
+	} else {
+		reqSpan.End(obs.A("via_fleet", viaFleet), obs.A("bytes", len(data)))
+	}
+	if cerr := tracer.Close(); cerr != nil {
+		log.Printf("avgserve: closing trace artifact for %s: %v", j.Key, cerr)
 	}
 	s.mu.Lock()
 	if err != nil {
 		j.Status = statusError
 		j.Error = err.Error()
-		s.runsFailed++
+		s.runsFailed.Inc()
 		if errors.Is(err, context.DeadlineExceeded) {
-			s.deadlineExceeded++
+			s.deadlineExceeded.Inc()
 		}
 	} else {
 		j.result = data
 		j.Status = statusDone
-		s.runsCompleted++
+		s.runsCompleted.Inc()
 		if viaFleet {
-			s.runsFleet++
+			s.runsFleet.Inc()
 		}
 	}
 	delete(s.inflight, j.Key)
@@ -264,7 +359,7 @@ func (s *server) setStatus(j *job, status, errMsg string) {
 // Caller holds s.mu.
 func (s *server) newJobLocked(key string, spec *scenario.Spec) *job {
 	s.nextID++
-	s.jobsTotal++
+	s.jobsTotal.Inc()
 	j := &job{
 		ID:     fmt.Sprintf("job-%d", s.nextID),
 		Status: statusQueued,
@@ -303,7 +398,7 @@ func (s *server) submit(spec *scenario.Spec) (*job, error) {
 		j.result = data
 		j.Status = statusDone
 		j.Cached = true
-		s.runsCached++
+		s.runsCached.Inc()
 		s.mu.Unlock()
 		close(j.done)
 		return j, nil
@@ -467,18 +562,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	retryAfter := s.retryAfter()
 	s.mu.Lock()
+	inFlight := len(s.inflight)
+	s.mu.Unlock()
 	m := metrics{
 		Store:             st,
-		InFlight:          len(s.inflight),
+		InFlight:          inFlight,
 		QueueDepth:        len(s.queue),
 		QueueCap:          s.queueCap,
-		JobsTotal:         s.jobsTotal,
-		RunsCompleted:     s.runsCompleted,
-		RunsFailed:        s.runsFailed,
-		RunsCached:        s.runsCached,
-		RunsFleet:         s.runsFleet,
-		CampaignsTotal:    s.campaignsTotal,
-		DeadlineExceeded:  s.deadlineExceeded,
+		JobsTotal:         s.jobsTotal.Value(),
+		RunsCompleted:     s.runsCompleted.Value(),
+		RunsFailed:        s.runsFailed.Value(),
+		RunsCached:        s.runsCached.Value(),
+		RunsFleet:         s.runsFleet.Value(),
+		CampaignsTotal:    s.campaignsTotal.Value(),
+		DeadlineExceeded:  s.deadlineExceeded.Value(),
 		StoreQuarantined:  st.Quarantined,
 		RetryAfterSeconds: retryAfter,
 		Fleet:             fs,
@@ -486,7 +583,6 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if fs != nil {
 		m.FleetWorkers = len(fs.Workers)
 	}
-	s.mu.Unlock()
 	if s.breaker != nil {
 		m.FleetBreakerState = s.breaker.State()
 		m.FleetBreakerTrips = s.breaker.Trips()
@@ -651,9 +747,7 @@ func (s *server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	s.campaignsTotal++
-	s.mu.Unlock()
+	s.campaignsTotal.Inc()
 
 	// Submit everything up front. Items whose key was already submitted by
 	// an earlier item share that item's job — deterministically, instead of

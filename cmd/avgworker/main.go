@@ -34,6 +34,7 @@ import (
 
 	"avgloc/internal/chaos"
 	"avgloc/internal/fleet"
+	"avgloc/internal/obs"
 )
 
 func main() {
@@ -51,6 +52,7 @@ func run() error {
 	drainGrace := flag.Duration("drain-grace", fleet.DefaultDrainGrace, "post-SIGTERM window for finishing and uploading the chunk in flight")
 	chaosPlan := flag.String("chaos-plan", "", "JSON fault plan (internal/chaos); injects deterministic transport faults into coordinator round-trips")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection stream seed (with -chaos-plan)")
+	tracePath := flag.String("trace", "", "write a flight-recorder trace artifact (NDJSON, read with avgtrace): one chunk.execute/chunk.upload span pair per leased chunk")
 	flag.Parse()
 
 	label := *name
@@ -74,6 +76,19 @@ func run() error {
 		Poll:        *poll,
 		DrainGrace:  *drainGrace,
 		Logf:        log.Printf,
+	}
+	if *tracePath != "" {
+		tracer, err := obs.Create(*tracePath, "avgworker", obs.A("worker", label))
+		if err != nil {
+			return err
+		}
+		w.Trace = tracer
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				log.Printf("avgworker: closing trace: %v", err)
+			}
+			log.Printf("avgworker: trace: %d lines -> %s", tracer.Lines(), *tracePath)
+		}()
 	}
 	if *chaosPlan != "" {
 		data, err := os.ReadFile(*chaosPlan)

@@ -34,6 +34,7 @@ import (
 
 	"avgloc/internal/core"
 	"avgloc/internal/fit"
+	"avgloc/internal/obs"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
 )
@@ -544,14 +545,25 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 			return scenario.Run(spec, scenario.Options{Parallelism: parallelism, Ctx: ctx})
 		}
 	}
+	// The campaign span parents one campaign.scenario span per unique
+	// execution slot; the slot's span travels down through the context so
+	// the scenario layer (or the fleet coordinator) hangs its hierarchy
+	// under it. All nil no-ops when the caller carries no span.
+	campSpan := obs.FromCtx(opt.Ctx).Span("campaign.run",
+		obs.A("name", c.Name), obs.A("scenarios", n), obs.A("unique", len(uniq)))
 	execute := func(key string) {
 		s := slots[key]
 		defer close(s.done)
+		scenSpan := campSpan.Span("campaign.scenario", obs.A("key", key))
 		if opt.Store != nil {
-			if data, ok := opt.Store.Get(key); ok {
+			gs := scenSpan.Span("store.get", obs.A("key", key))
+			data, ok := opt.Store.Get(key)
+			gs.End(obs.A("hit", ok))
+			if ok {
 				var out scenario.Outcome
 				if err := json.Unmarshal(data, &out); err == nil {
 					s.outcome, s.cached = &out, true
+					scenSpan.End(obs.A("cached", true))
 					return
 				}
 				// A corrupt cache entry falls through to a fresh run.
@@ -559,19 +571,24 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 		}
 		if err := ctx.Err(); err != nil {
 			s.err = err
+			scenSpan.End(obs.A("error", err.Error()))
 			return
 		}
-		out, err := runSpec(ctx, bySlot[key], perScenario)
+		out, err := runSpec(obs.With(ctx, scenSpan), bySlot[key], perScenario)
 		if err != nil {
 			s.err = err
+			scenSpan.End(obs.A("error", err.Error()))
 			return
 		}
 		s.outcome = out
 		if opt.Store != nil {
 			if data, err := out.MarshalStable(); err == nil {
+				ps := scenSpan.Span("store.put", obs.A("key", key))
 				opt.Store.Put(key, data) // a persistence failure is a future miss
+				ps.End()
 			}
 		}
+		scenSpan.End(obs.A("cached", false))
 	}
 
 	jobs := make(chan string)
@@ -611,5 +628,12 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 		}
 	}
 	wg.Wait()
-	return Evaluate(c, runs)
+	rep, err := Evaluate(c, runs)
+	if err != nil {
+		campSpan.End(obs.A("error", err.Error()))
+		return nil, err
+	}
+	campSpan.End(obs.A("confirmed", rep.Confirmed), obs.A("rejected", rep.Rejected),
+		obs.A("inconclusive", rep.Inconclusive))
+	return rep, nil
 }

@@ -1,0 +1,53 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"avgloc/internal/obs"
+)
+
+// TestRunByteIdenticalTraced: a traced campaign report marshals to the
+// exact bytes of an untraced one at every worker budget, and the artifact
+// carries the campaign → scenario → row span chain.
+func TestRunByteIdenticalTraced(t *testing.T) {
+	c := smallCampaign()
+	base, err := Run(c, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, par := range []int{1, 4, 64} {
+		var art strings.Builder
+		tr := obs.NewTracer(&art, "test.campaign")
+		root := tr.Span(nil, "request")
+		ctx := obs.With(context.Background(), root)
+
+		rep, err := Run(c, Options{Parallelism: par, Ctx: ctx})
+		if err != nil {
+			t.Fatalf("parallelism %d traced: %v", par, err)
+		}
+		root.End()
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := rep.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("parallelism %d: traced report differs from untraced", par)
+		}
+		for _, span := range []string{"campaign.run", "campaign.scenario", "scenario.run"} {
+			if !strings.Contains(art.String(), `"name":"`+span+`"`) {
+				t.Fatalf("parallelism %d: artifact missing %s span", par, span)
+			}
+		}
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"avgloc/internal/obs"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
 )
@@ -74,6 +76,11 @@ type Config struct {
 	// Store, if non-nil, caches completed chunks under scenario.ChunkKey:
 	// a re-run after a crash only re-executes the chunks it lost.
 	Store *resultstore.Store
+	// Trace, if non-nil, records the chunk lifecycle of every run — queue,
+	// lease, steal, requeue, complete, merge, plus worker churn — into a
+	// flight-recorder artifact. A nil Trace (the default) short-circuits
+	// every recording call; see internal/obs.
+	Trace *obs.Tracer
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -132,6 +139,7 @@ type workerState struct {
 
 // run collects one scenario's chunks.
 type run struct {
+	span      *obs.Span // the run's fleet.run span (nil when tracing is off)
 	remaining int
 	chunks    []*scenario.Chunk
 	err       error
@@ -193,13 +201,16 @@ type Coordinator struct {
 	nextWID int
 	nextCID int64
 
-	dispatched int64
-	completed  int64
-	cached     int64
-	retried    int64
-	stolen     int64
-	failed     int64
-	duplicate  int64
+	// Lifecycle counters are atomics rather than fields under mu: the
+	// metrics registry reads them from scrape handlers (CounterFunc) and
+	// RunScenario bumps cached outside the lock.
+	dispatched atomic.Int64
+	completed  atomic.Int64
+	cached     atomic.Int64
+	retried    atomic.Int64
+	stolen     atomic.Int64
+	failed     atomic.Int64
+	duplicate  atomic.Int64
 }
 
 // NewCoordinator returns a coordinator with the given configuration.
@@ -236,13 +247,13 @@ func (c *Coordinator) Stats() Stats {
 	st := Stats{
 		PendingChunks:    len(c.pending),
 		LeasedChunks:     len(c.leased),
-		ChunksDispatched: c.dispatched,
-		ChunksCompleted:  c.completed,
-		ChunksCached:     c.cached,
-		ChunksRetried:    c.retried,
-		ChunksStolen:     c.stolen,
-		ChunksFailed:     c.failed,
-		ChunksDuplicate:  c.duplicate,
+		ChunksDispatched: c.dispatched.Load(),
+		ChunksCompleted:  c.completed.Load(),
+		ChunksCached:     c.cached.Load(),
+		ChunksRetried:    c.retried.Load(),
+		ChunksStolen:     c.stolen.Load(),
+		ChunksFailed:     c.failed.Load(),
+		ChunksDuplicate:  c.duplicate.Load(),
 	}
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStats{
@@ -259,6 +270,40 @@ func (c *Coordinator) Stats() Stats {
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return seq[st.Workers[i].ID] < seq[st.Workers[j].ID] })
 	return st
+}
+
+// RegisterMetrics publishes the coordinator's lifecycle counters and
+// queue gauges on r under the avg_fleet_* names. The counter funcs read
+// the same atomics Stats does; the gauges take c.mu exactly like Stats.
+func (c *Coordinator) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("avg_fleet_chunks_dispatched_total", "Chunk leases handed to workers.", c.dispatched.Load)
+	r.CounterFunc("avg_fleet_chunks_completed_total", "Chunks merged (first completion wins).", c.completed.Load)
+	r.CounterFunc("avg_fleet_chunks_cached_total", "Chunks served from the chunk cache without dispatch.", c.cached.Load)
+	r.CounterFunc("avg_fleet_chunks_retried_total", "Chunks requeued after a lost lease.", c.retried.Load)
+	r.CounterFunc("avg_fleet_chunks_stolen_total", "Duplicate leases issued for straggling chunks.", c.stolen.Load)
+	r.CounterFunc("avg_fleet_chunks_failed_total", "Chunk completions that failed or mismatched their lease.", c.failed.Load)
+	r.CounterFunc("avg_fleet_chunks_duplicate_total", "Completions for already-merged chunks, idempotently ignored.", c.duplicate.Load)
+	r.GaugeFunc("avg_fleet_workers", "Live registered workers.", func() float64 { return float64(c.Workers()) })
+	r.GaugeFunc("avg_fleet_pending_chunks", "Unleased chunks across all runs.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.pending))
+	})
+	r.GaugeFunc("avg_fleet_leased_chunks", "Chunks currently leased to workers.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.leased))
+	})
+}
+
+// spanFrom starts a trace span for a run: a child of ctx's active span
+// when the caller is already traced (avgserve request, campaign
+// scenario), else a root span on the coordinator's own tracer, else nil.
+func (c *Coordinator) spanFrom(ctx context.Context, name string, attrs ...obs.KV) *obs.Span {
+	if parent := obs.FromCtx(ctx); parent != nil {
+		return parent.Span(name, attrs...)
+	}
+	return c.cfg.Trace.Span(nil, name, attrs...)
 }
 
 // expireLocked advances the failure detectors: leases past their heartbeat
@@ -285,6 +330,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			continue
 		}
 		c.logf("fleet: worker %s (%s) lost (silent %v)", w.id, w.name, now.Sub(w.lastSeen).Round(time.Millisecond))
+		c.cfg.Trace.Event(nil, "worker.lost", obs.A("worker", w.id), obs.A("name", w.name))
 		for cid, t := range w.active {
 			delete(t.leases, id)
 			if len(t.leases) == 0 && !t.done {
@@ -309,11 +355,13 @@ func (c *Coordinator) requeueLocked(t *task) {
 	t.retries++
 	if t.retries > c.cfg.maxRetries() {
 		delete(c.tasks, t.id)
+		t.run.span.Event("chunk.lost", obs.A("chunk", t.id), obs.A("row", t.job.Row), obs.A("retries", t.retries))
 		c.failRunLocked(t.run, fmt.Errorf("%w: chunk row %d trials [%d, %d) lost %d times",
 			ErrUnavailable, t.job.Row, t.job.TrialLo, t.job.TrialHi, t.retries))
 		return
 	}
-	c.retried++
+	c.retried.Add(1)
+	t.run.span.Event("chunk.requeue", obs.A("chunk", t.id), obs.A("row", t.job.Row), obs.A("attempt", t.retries+1))
 	c.logf("fleet: requeueing chunk %s (row %d trials [%d, %d), attempt %d)",
 		t.id, t.job.Row, t.job.TrialLo, t.job.TrialHi, t.retries+1)
 	c.pending = append([]*task{t}, c.pending...)
@@ -359,6 +407,7 @@ func (c *Coordinator) register(name string) registerResponse {
 	}
 	c.workers[w.id] = w
 	c.logf("fleet: worker %s (%s) registered", w.id, w.name)
+	c.cfg.Trace.Event(nil, "worker.registered", obs.A("worker", w.id), obs.A("name", name))
 	return registerResponse{
 		WorkerID:        w.id,
 		HeartbeatMillis: (c.cfg.heartbeatTimeout() / 3).Milliseconds(),
@@ -410,7 +459,9 @@ func (c *Coordinator) poll(workerID string) (job *ChunkJob, ok bool) {
 			continue
 		}
 		c.leaseLocked(t, w, now)
-		c.dispatched++
+		c.dispatched.Add(1)
+		t.run.span.Event("chunk.lease", obs.A("chunk", t.id), obs.A("worker", workerID),
+			obs.A("row", t.job.Row), obs.A("lo", t.job.TrialLo), obs.A("hi", t.job.TrialHi))
 		jb := t.job
 		return &jb, true
 	}
@@ -434,7 +485,8 @@ func (c *Coordinator) poll(workerID string) (job *ChunkJob, ok bool) {
 	}
 	if best != nil {
 		c.leaseLocked(best, w, now)
-		c.stolen++
+		c.stolen.Add(1)
+		best.run.span.Event("chunk.steal", obs.A("chunk", best.id), obs.A("worker", workerID), obs.A("row", best.job.Row))
 		c.logf("fleet: worker %s stealing chunk %s", workerID, best.id)
 		jb := best.job
 		return &jb, true
@@ -481,7 +533,10 @@ func (c *Coordinator) complete(req *completeRequest) completeResponse {
 		// Already merged (or never existed): a stolen copy finishing second,
 		// a duplicate delivery, a lease that expired mid-compute. Ignored —
 		// the first completion's bytes already stand.
-		c.duplicate++
+		c.duplicate.Add(1)
+		if t != nil {
+			t.run.span.Event("chunk.duplicate", obs.A("chunk", req.ChunkID), obs.A("worker", req.WorkerID))
+		}
 		c.mu.Unlock()
 		return completeResponse{}
 	}
@@ -495,7 +550,8 @@ func (c *Coordinator) complete(req *completeRequest) completeResponse {
 			// requeue when nobody else still holds one; the retry budget
 			// converts a persistently confused fleet into ErrUnavailable,
 			// which callers answer with local fallback.
-			c.failed++
+			c.failed.Add(1)
+			t.run.span.Event("chunk.mismatch", obs.A("chunk", t.id), obs.A("worker", req.WorkerID))
 			c.logf("fleet: worker %s returned mismatched chunk for %s (row %d trials [%d, %d)); requeueing",
 				req.WorkerID, t.id, t.job.Row, t.job.TrialLo, t.job.TrialHi)
 			delete(t.leases, req.WorkerID)
@@ -522,14 +578,17 @@ func (c *Coordinator) complete(req *completeRequest) completeResponse {
 	}
 	r := t.run
 	if req.Error != "" {
-		c.failed++
+		c.failed.Add(1)
+		r.span.Event("chunk.error", obs.A("chunk", t.id), obs.A("worker", req.WorkerID), obs.A("error", req.Error))
 		c.failRunLocked(r, fmt.Errorf("fleet: chunk row %d trials [%d, %d): %s",
 			t.job.Row, t.job.TrialLo, t.job.TrialHi, req.Error))
 		c.mu.Unlock()
 		return completeResponse{Accepted: true}
 	}
 	ch := req.Chunk
-	c.completed++
+	c.completed.Add(1)
+	r.span.Event("chunk.complete", obs.A("chunk", t.id), obs.A("worker", req.WorkerID),
+		obs.A("row", t.job.Row), obs.A("lo", t.job.TrialLo), obs.A("hi", t.job.TrialHi))
 	if !r.failed {
 		r.chunks = append(r.chunks, ch)
 		r.remaining--
@@ -544,11 +603,13 @@ func (c *Coordinator) complete(req *completeRequest) completeResponse {
 	// Write the partial through to the chunk cache outside the lock: a
 	// failed run's chunks are still valid partials for a later re-run.
 	if key != "" && c.cfg.Store != nil {
+		ps := r.span.Span("store.put", obs.A("key", key))
 		if data, err := json.Marshal(ch); err == nil {
 			if err := c.cfg.Store.Put(key, data); err != nil {
 				c.logf("fleet: caching chunk %s: %v", key, err)
 			}
 		}
+		ps.End()
 	}
 	return completeResponse{Accepted: true}
 }
@@ -571,7 +632,9 @@ func (c *Coordinator) RunScenario(ctx context.Context, spec *scenario.Spec) (*sc
 	if err != nil {
 		return nil, err
 	}
-	r := &run{done: make(chan struct{})}
+	runSpan := c.spanFrom(ctx, "fleet.run",
+		obs.A("key", key), obs.A("rows", n.Rows()), obs.A("trials", n.Trials))
+	r := &run{done: make(chan struct{}), span: runSpan}
 	var tasks []*task
 	size := c.cfg.chunkTrials()
 	for row := 0; row < n.Rows(); row++ {
@@ -582,15 +645,18 @@ func (c *Coordinator) RunScenario(ctx context.Context, spec *scenario.Spec) (*sc
 			}
 			ck := scenario.ChunkKey(key, row, lo, hi)
 			if c.cfg.Store != nil {
-				if data, ok := c.cfg.Store.Get(ck); ok {
+				gs := runSpan.Span("store.get", obs.A("key", ck))
+				data, ok := c.cfg.Store.Get(ck)
+				gs.End(obs.A("hit", ok))
+				if ok {
 					var ch scenario.Chunk
 					if err := json.Unmarshal(data, &ch); err == nil &&
 						ch.Row == row && ch.TrialLo == lo && ch.TrialHi == hi &&
 						len(ch.Trials) == hi-lo {
 						r.chunks = append(r.chunks, &ch)
-						c.mu.Lock()
-						c.cached++
-						c.mu.Unlock()
+						c.cached.Add(1)
+						runSpan.Event("chunk.cached",
+							obs.A("row", row), obs.A("lo", lo), obs.A("hi", hi))
 						continue
 					}
 					// A corrupt or truncated partial falls through to a
@@ -609,7 +675,7 @@ func (c *Coordinator) RunScenario(ctx context.Context, spec *scenario.Spec) (*sc
 	}
 	r.remaining = len(tasks)
 	if len(tasks) == 0 {
-		return scenario.MergeChunks(n, r.chunks)
+		return c.mergeRun(n, r)
 	}
 
 	c.mu.Lock()
@@ -617,10 +683,12 @@ func (c *Coordinator) RunScenario(ctx context.Context, spec *scenario.Spec) (*sc
 	c.expireLocked(now)
 	if len(c.workers) == 0 {
 		c.mu.Unlock()
+		runSpan.End(obs.A("error", ErrNoWorkers.Error()))
 		return nil, ErrNoWorkers
 	}
 	if len(c.pending)+len(tasks) > c.cfg.queueCap() {
 		c.mu.Unlock()
+		runSpan.End(obs.A("error", ErrBusy.Error()))
 		return nil, ErrBusy
 	}
 	for _, t := range tasks {
@@ -629,6 +697,8 @@ func (c *Coordinator) RunScenario(ctx context.Context, spec *scenario.Spec) (*sc
 		t.job.ID = t.id // the lease travels with its identity
 		c.tasks[t.id] = t
 		c.pending = append(c.pending, t)
+		runSpan.Event("chunk.queued", obs.A("chunk", t.id),
+			obs.A("row", t.job.Row), obs.A("lo", t.job.TrialLo), obs.A("hi", t.job.TrialHi))
 	}
 	c.mu.Unlock()
 
@@ -646,15 +716,17 @@ func (c *Coordinator) RunScenario(ctx context.Context, spec *scenario.Spec) (*sc
 			c.mu.Lock()
 			c.failRunLocked(r, ctx.Err())
 			c.mu.Unlock()
+			runSpan.End(obs.A("error", ctx.Err().Error()))
 			return nil, ctx.Err()
 		case <-r.done:
 			c.mu.Lock()
-			err, chunks := r.err, r.chunks
+			err := r.err
 			c.mu.Unlock()
 			if err != nil {
+				runSpan.End(obs.A("error", err.Error()))
 				return nil, err
 			}
-			return scenario.MergeChunks(n, chunks)
+			return c.mergeRun(n, r)
 		case <-tick.C:
 			c.mu.Lock()
 			c.expireLocked(time.Now())
@@ -664,6 +736,21 @@ func (c *Coordinator) RunScenario(ctx context.Context, spec *scenario.Spec) (*sc
 			c.mu.Unlock()
 		}
 	}
+}
+
+// mergeRun reassembles a finished run's chunks and closes its span. The
+// run is finished: no concurrent writer touches r.chunks anymore.
+func (c *Coordinator) mergeRun(n *scenario.Spec, r *run) (*scenario.Outcome, error) {
+	ms := r.span.Span("merge", obs.A("chunks", len(r.chunks)))
+	out, err := scenario.MergeChunks(n, r.chunks)
+	if err != nil {
+		ms.End(obs.A("error", err.Error()))
+		r.span.End(obs.A("error", err.Error()))
+		return nil, err
+	}
+	ms.End()
+	r.span.End()
+	return out, nil
 }
 
 // Execute runs the spec across the fleet when workers are attached,

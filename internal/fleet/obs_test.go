@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"avgloc/internal/obs"
+)
+
+// TestRunScenarioTracedByteIdentity: a fully traced fleet run — coordinator
+// and workers sharing one flight recorder — merges to the exact bytes of an
+// untraced local run, and the artifact alone reconstructs the chunk
+// timeline (queue → lease → execute → upload → complete → merge).
+func TestRunScenarioTracedByteIdentity(t *testing.T) {
+	want := localBytes(t, &fleetSpec)
+
+	var art strings.Builder
+	tr := obs.NewTracer(&art, "fleet.test")
+	cfg := fastConfig()
+	cfg.Trace = tr
+	c := NewCoordinator(cfg)
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := &Worker{Base: ts.URL, Name: "traced", Parallelism: 2, Poll: 5 * time.Millisecond, Trace: tr}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	waitWorkers(t, c, 2)
+	out, err := c.RunScenario(context.Background(), &fleetSpec)
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	got, err := out.MarshalStable()
+	if err != nil {
+		t.Fatalf("MarshalStable: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("traced fleet bytes differ from untraced local bytes")
+	}
+
+	cancel()
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	body := art.String()
+	for _, name := range []string{
+		"fleet.run", "worker.registered", "chunk.queued", "chunk.lease",
+		"chunk.execute", "chunk.upload", "chunk.complete", "merge",
+	} {
+		if !strings.Contains(body, `"name":"`+name+`"`) {
+			t.Errorf("artifact missing %q line", name)
+		}
+	}
+}

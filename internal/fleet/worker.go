@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"avgloc/internal/obs"
 	"avgloc/internal/scenario"
 )
 
@@ -43,6 +44,10 @@ type Worker struct {
 	DrainGrace time.Duration
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Trace, if non-nil, records the worker's side of every chunk — a
+	// chunk.execute span around RunChunk and a chunk.upload span around the
+	// result upload — into its own flight-recorder artifact.
+	Trace *obs.Tracer
 }
 
 // errLapsed reports a registration the coordinator no longer recognizes.
@@ -233,33 +238,41 @@ func (w *Worker) executeAndReport(ctx context.Context, workerID string, job *Chu
 		par = 1
 	}
 	start := time.Now()
+	execSpan := w.Trace.Span(nil, "chunk.execute", obs.A("chunk", job.ID),
+		obs.A("worker", workerID), obs.A("row", job.Row), obs.A("lo", job.TrialLo), obs.A("hi", job.TrialHi))
 	chunk, err := scenario.RunChunk(&job.Spec, job.Row, job.TrialLo, job.TrialHi, par)
 	stopHB()
 	req := completeRequest{WorkerID: workerID, ChunkID: job.ID}
 	if err != nil {
 		req.Error = err.Error()
+		execSpan.End(obs.A("error", err.Error()))
 		w.logf("avgworker: chunk %s failed: %v", job.ID, err)
 	} else {
 		req.Chunk = chunk
+		execSpan.End(obs.A("trials", len(chunk.Trials)))
 		w.logf("avgworker: chunk %s (row %d trials [%d, %d)) done in %v",
 			job.ID, job.Row, job.TrialLo, job.TrialHi, time.Since(start).Round(time.Millisecond))
 	}
 	// Retry the upload a few times: the result cost real work, and a
 	// transient coordinator hiccup should not force a full re-execution.
+	upSpan := w.Trace.Span(nil, "chunk.upload", obs.A("chunk", job.ID), obs.A("worker", workerID))
 	for attempt := 0; ; attempt++ {
 		var resp completeResponse
 		err := w.post(opCtx, "/fleet/v1/complete", uploadTimeout(heartbeat), req, &resp)
 		if err == nil {
 			bo.Reset()
+			upSpan.End(obs.A("attempts", attempt+1))
 			return
 		}
 		if err == errLapsed || opCtx.Err() != nil || attempt >= 3 {
 			if opCtx.Err() == nil {
 				w.logf("avgworker: complete %s: %v (dropping; coordinator will requeue)", job.ID, err)
 			}
+			upSpan.End(obs.A("attempts", attempt+1), obs.A("error", err.Error()))
 			return
 		}
 		if !sleepCtx(opCtx, bo.Next()) {
+			upSpan.End(obs.A("attempts", attempt+1), obs.A("error", "cancelled"))
 			return
 		}
 	}

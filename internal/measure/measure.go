@@ -148,6 +148,31 @@ type Quantiles struct {
 	Max float64 `json:"max"`
 }
 
+// QuantilesOf computes the exact nearest-rank quantile summary of an
+// arbitrary sample set, sorting a copy (the input is not modified). It is
+// the machinery behind Dist exposed for callers outside the measurement
+// pipeline — internal/obs histograms snapshot their windows through it —
+// so every quantile in the tree is computed by the same arithmetic.
+// An empty input yields the zero Quantiles.
+func QuantilesOf(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantilesSorted(s)
+}
+
+// quantilesSorted summarizes an already-sorted non-empty sample set.
+func quantilesSorted(xs []float64) Quantiles {
+	return Quantiles{
+		P50: quantileSorted(xs, 0.50),
+		P90: quantileSorted(xs, 0.90),
+		P99: quantileSorted(xs, 0.99),
+		Max: xs[len(xs)-1],
+	}
+}
+
 // HistBuckets is the fixed bucket count of the log₂ completion-time
 // histograms: bucket 0 holds times < 1, bucket i ≥ 1 holds times in
 // [2^(i−1), 2^i), and the last bucket absorbs everything larger. 16 buckets
@@ -288,11 +313,7 @@ func (a *Agg) distOf(sums []float64) (Quantiles, [HistBuckets]int64) {
 		hist[histBucket(xs[i])]++
 	}
 	sort.Float64s(xs)
-	q.P50 = quantileSorted(xs, 0.50)
-	q.P90 = quantileSorted(xs, 0.90)
-	q.P99 = quantileSorted(xs, 0.99)
-	q.Max = xs[len(xs)-1]
-	return q, hist
+	return quantilesSorted(xs), hist
 }
 
 // histBucket maps a completion time to its log₂ bucket.

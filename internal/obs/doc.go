@@ -1,0 +1,50 @@
+// Package obs is the observability seam of the stack: a span tracer (the
+// "flight recorder") and a unified metrics registry.
+//
+// # Tracer
+//
+// A Tracer writes one trace artifact: newline-delimited JSON, one object
+// per line, in the order things happened. Three line types exist:
+//
+//	{"type":"trace","name":...,"start":<RFC3339Nano>,"attrs":{...}}   file header
+//	{"type":"span","id":N,"parent":P,"name":...,"at_us":A,"dur_us":D,"attrs":{...}}
+//	{"type":"event","parent":P,"name":...,"at_us":A,"attrs":{...}}
+//
+// Span lines are written when the span ends (so a parent's line follows
+// its children's); events are written immediately, which is what makes
+// the artifact useful after a crash — the chunk lifecycle of a fleet run
+// is recorded as point events (chunk.queued, chunk.lease, chunk.steal,
+// chunk.requeue, chunk.complete, chunk.merge) that survive even if the
+// surrounding spans never close. All times are microseconds relative to
+// the header's wall-clock start, taken from the monotonic clock.
+//
+// Every Tracer and Span method is nil-receiver safe and returns nil
+// children, so call sites carry no "is tracing on" branches: a nil span
+// is the disabled fast path, and the hot measurement loops (core,
+// runtime) are never touched at all — tracing brackets rows, chunks and
+// protocol events, not per-trial work. Byte-identity of measurement
+// output is therefore structural: the tracer only ever writes to its own
+// artifact, never into a report.
+//
+// Spans propagate through context (With / FromCtx), which is how one
+// request's hierarchy threads request → campaign → scenario → fleet run
+// → chunk events → store get/put across package boundaries without any
+// package importing its callers.
+//
+// # Metrics
+//
+// A Registry names every counter, gauge and histogram of a process and
+// exposes them in Prometheus text format (Handler / WritePrometheus,
+// deterministically sorted by name). Counter is an atomic int64 — safe
+// from handler pools and fleet callbacks without shared locks;
+// CounterFunc and GaugeFunc adapt existing snapshot-style counters.
+// Histogram keeps a bounded window of raw observations and snapshots
+// exact nearest-rank quantiles through internal/measure's machinery
+// (measure.QuantilesOf), the same arithmetic the paper's distribution
+// blocks use — never a sketch.
+//
+// cmd/avgserve mounts a Registry at GET /metrics while keeping the
+// legacy JSON document at GET /v1/metrics, both reading the same
+// underlying atomics; cmd/avgtrace reads trace artifacts back into
+// per-stage waterfalls and chunk timelines.
+package obs

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"avgloc/internal/measure"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; increments are lock-free and safe from handler pools and
+// fleet callbacks.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the Prometheus contract; this is
+// not enforced, callers own it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramWindow is the bounded sample window of a Histogram: the most
+// recent observations the exact-quantile snapshot is computed over. Large
+// enough that a whole smoke run fits, small enough to be O(100 KB).
+const HistogramWindow = 8192
+
+// Histogram records raw observations and snapshots exact nearest-rank
+// quantiles over a bounded window of the most recent HistogramWindow
+// samples (count and sum cover the full lifetime). Quantiles are computed
+// by measure.QuantilesOf — the same machinery as the paper's distribution
+// blocks, never a sketch.
+type Histogram struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int
+	count int64
+	sum   float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.ring) < HistogramWindow {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.next] = v
+		h.next = (h.next + 1) % HistogramWindow
+	}
+	h.count++
+	h.sum += v
+}
+
+// HistSnapshot is a point-in-time view of a Histogram.
+type HistSnapshot struct {
+	Count int64             `json:"count"`
+	Sum   float64           `json:"sum"`
+	Q     measure.Quantiles `json:"quantiles"`
+}
+
+// Snapshot returns lifetime count/sum and exact quantiles over the window.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	window := append([]float64(nil), h.ring...)
+	s := HistSnapshot{Count: h.count, Sum: h.sum}
+	h.mu.Unlock()
+	s.Q = measure.QuantilesOf(window)
+	return s
+}
+
+// metricKind discriminates the exposition shape of a registry entry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	// exactly one of these is set
+	counter     *Counter
+	counterFunc func() int64
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	hist        *Histogram
+}
+
+// Registry names every metric of a process and writes them in Prometheus
+// text exposition format, deterministically sorted by name. Registration
+// is expected at startup; reads are concurrent-safe.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: make(map[string]*metric)} }
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[m.name]; dup {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.metrics[m.name] = m
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read through fn — the
+// adapter for existing snapshot-style counters (resultstore stats, fleet
+// coordinator totals) that keep their own source of truth.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, counterFunc: fn})
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge read through fn (queue depth, breaker
+// state, EWMA estimates — anything already maintained elsewhere).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, gaugeFunc: fn})
+}
+
+// Histogram registers and returns a new histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4), sorted by name so output is diffable and
+// golden-testable. Histograms are rendered as summaries with exact
+// quantile labels plus _sum and _count series.
+func (r *Registry) WritePrometheus(w *strings.Builder) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ms := make([]*metric, len(names))
+	for i, n := range names {
+		ms[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", m.name)
+			v := m.counterFunc
+			if m.counter != nil {
+				v = m.counter.Value
+			}
+			fmt.Fprintf(w, "%s %d\n", m.name, v())
+		case kindGauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", m.name)
+			v := m.gaugeFunc
+			if m.gauge != nil {
+				v = m.gauge.Value
+			}
+			fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(v()))
+		case kindHistogram:
+			fmt.Fprintf(w, "# TYPE %s summary\n", m.name)
+			s := m.hist.Snapshot()
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", m.name, formatFloat(s.Q.P50))
+			fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", m.name, formatFloat(s.Q.P90))
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", m.name, formatFloat(s.Q.P99))
+			fmt.Fprintf(w, "%s{quantile=\"1\"} %s\n", m.name, formatFloat(s.Q.Max))
+			fmt.Fprintf(w, "%s_sum %s\n", m.name, formatFloat(s.Sum))
+			fmt.Fprintf(w, "%s_count %d\n", m.name, s.Count)
+		}
+	}
+}
+
+// formatFloat renders a float the way Prometheus expects: integral values
+// without an exponent, shortest round-trippable form otherwise.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+}

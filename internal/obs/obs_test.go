@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// parseLines decodes every NDJSON record of a trace artifact.
+func parseLines(t *testing.T, data []byte) []Line {
+	t.Helper()
+	var out []Line
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var l Line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func TestTracerArtifact(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "test.run", A("key", "abc"))
+
+	root := tr.Span(nil, "request", A("method", "POST"))
+	child := root.Span("scenario.row", A("row", 3))
+	child.Event("chunk.queued", A("chunk", 0))
+	child.End(A("trials", 64))
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	lines := parseLines(t, buf.Bytes())
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4: %+v", len(lines), lines)
+	}
+	if lines[0].Type != "trace" || lines[0].Name != "test.run" || lines[0].Start == "" {
+		t.Fatalf("bad header: %+v", lines[0])
+	}
+	if lines[0].Attrs["key"] != "abc" {
+		t.Fatalf("header attrs = %v", lines[0].Attrs)
+	}
+	// Events are written immediately; span lines at End, children first.
+	if lines[1].Type != "event" || lines[1].Name != "chunk.queued" {
+		t.Fatalf("line 1 = %+v", lines[1])
+	}
+	if lines[2].Type != "span" || lines[2].Name != "scenario.row" {
+		t.Fatalf("line 2 = %+v", lines[2])
+	}
+	if lines[3].Type != "span" || lines[3].Name != "request" {
+		t.Fatalf("line 3 = %+v", lines[3])
+	}
+	// Hierarchy: event under child, child under root, root at 0.
+	if lines[1].Parent != lines[2].ID {
+		t.Fatalf("event parent %d != child id %d", lines[1].Parent, lines[2].ID)
+	}
+	if lines[2].Parent != lines[3].ID {
+		t.Fatalf("child parent %d != root id %d", lines[2].Parent, lines[3].ID)
+	}
+	if lines[3].Parent != 0 {
+		t.Fatalf("root parent = %d", lines[3].Parent)
+	}
+	// End folds extra attrs in.
+	if got := lines[2].Attrs["trials"]; got != float64(64) {
+		t.Fatalf("trials attr = %v", got)
+	}
+	if tr.Lines() != 4 {
+		t.Fatalf("Lines() = %d", tr.Lines())
+	}
+}
+
+func TestTracerNilFastPath(t *testing.T) {
+	// Every call below must no-op without panicking: this is the disabled
+	// path every instrumented call site takes when tracing is off.
+	var tr *Tracer
+	if err := tr.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if tr.Lines() != 0 {
+		t.Fatal("nil Lines != 0")
+	}
+	s := tr.Span(nil, "x")
+	if s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	tr.Event(nil, "x")
+	if c := s.Span("child"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	s.Event("e", A("k", 1))
+	s.End()
+	s.End() // idempotent on nil too
+
+	ctx := With(context.Background(), nil)
+	if FromCtx(ctx) != nil {
+		t.Fatal("nil span stored in context")
+	}
+	if FromCtx(nil) != nil {
+		t.Fatal("FromCtx(nil) != nil")
+	}
+}
+
+func TestTracerContextPropagation(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "t")
+	root := tr.Span(nil, "root")
+	ctx := With(context.Background(), root)
+	got := FromCtx(ctx)
+	if got != root {
+		t.Fatalf("FromCtx = %p, want %p", got, root)
+	}
+	got.Span("child").End()
+	root.End()
+	tr.Close()
+	lines := parseLines(t, buf.Bytes())
+	if len(lines) != 3 || lines[1].Parent != lines[2].ID {
+		t.Fatalf("unexpected artifact: %+v", lines)
+	}
+}
+
+func TestTracerEndIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "t")
+	s := tr.Span(nil, "once")
+	s.End()
+	s.End()
+	s.End()
+	tr.Close()
+	if lines := parseLines(t, buf.Bytes()); len(lines) != 2 {
+		t.Fatalf("End not idempotent: %d lines", len(lines))
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, "t")
+	root := tr.Span(nil, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s := root.Span("work", A("g", i), A("j", j))
+				s.Event("tick")
+				s.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	tr.Close()
+	lines := parseLines(t, buf.Bytes())
+	want := 1 + 16*50*2 + 1
+	if len(lines) != want {
+		t.Fatalf("got %d lines, want %d", len(lines), want)
+	}
+	ids := make(map[uint64]bool)
+	for _, l := range lines {
+		if l.Type != "span" {
+			continue
+		}
+		if ids[l.ID] {
+			t.Fatalf("duplicate span id %d", l.ID)
+		}
+		ids[l.ID] = true
+	}
+}
+
+func TestCreateFileArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace.ndjson")
+	tr, err := Create(path, "file.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Span(nil, "s").End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := parseLines(t, data); len(lines) != 2 {
+		t.Fatalf("file artifact has %d lines", len(lines))
+	}
+}
+
+func TestHistogramWindowAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 10 || s.Sum != 55 {
+		t.Fatalf("count=%d sum=%g", s.Count, s.Sum)
+	}
+	// Exact nearest-rank over 1..10.
+	if s.Q.P50 != 5 || s.Q.P90 != 9 || s.Q.P99 != 10 || s.Q.Max != 10 {
+		t.Fatalf("quantiles = %+v", s.Q)
+	}
+
+	// Overfill the window: lifetime count keeps growing, the window stays
+	// bounded and tracks the most recent samples.
+	h2 := &Histogram{}
+	for i := 0; i < HistogramWindow+100; i++ {
+		h2.Observe(1)
+	}
+	h2.Observe(1000)
+	s2 := h2.Snapshot()
+	if s2.Count != HistogramWindow+101 {
+		t.Fatalf("count = %d", s2.Count)
+	}
+	if s2.Q.Max != 1000 {
+		t.Fatalf("recent sample evicted early: max = %g", s2.Q.Max)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("lat", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(j))
+				var b strings.Builder
+				if j%100 == 0 {
+					r.WritePrometheus(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if h.Snapshot().Count != 8000 {
+		t.Fatalf("hist count = %d", h.Snapshot().Count)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup", "")
+}
+
+// TestPrometheusGolden pins the exposition format byte for byte. Rerun
+// with -update after deliberate format changes.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("avg_runs_total", "Completed runs.").Add(3)
+	r.CounterFunc("avg_store_hits_total", "Result store cache hits.", func() int64 { return 7 })
+	r.Gauge("avg_queue_depth", "Jobs waiting in the submit queue.").Set(2.5)
+	r.GaugeFunc("avg_breaker_state", "Fleet breaker state (0 closed, 1 open, 2 half-open).", func() float64 { return 1 })
+	h := r.Histogram("avg_run_seconds", "Wall-clock run duration.")
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

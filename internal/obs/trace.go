@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KV is one span/event attribute. Values must be JSON-marshalable;
+// numbers, strings and bools cover every call site in the tree.
+type KV struct {
+	K string
+	V any
+}
+
+// A is the attribute constructor: obs.A("row", 3).
+func A(k string, v any) KV { return KV{K: k, V: v} }
+
+// Line is one NDJSON record of a trace artifact. It is exported so the
+// trace reader (cmd/avgtrace) and the writer agree on a single schema.
+type Line struct {
+	Type string `json:"type"` // "trace" | "span" | "event"
+	// ID identifies a span (span lines only); Parent is the enclosing
+	// span's ID, 0 for roots.
+	ID     uint64 `json:"id,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// AtUS is microseconds since the artifact's Start: the event time, or
+	// a span's start. DurUS is the span's duration (span lines only).
+	AtUS  int64 `json:"at_us"`
+	DurUS int64 `json:"dur_us,omitempty"`
+	// Start is the wall-clock origin, header line only.
+	Start string         `json:"start,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer records one trace artifact. All methods are safe for concurrent
+// use and safe on a nil receiver (the disabled fast path: no-ops
+// throughout, no allocation, no branching at call sites).
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	err    error
+	base   time.Time // monotonic origin of every at_us
+	nextID atomic.Uint64
+	lines  atomic.Int64
+}
+
+// NewTracer starts an artifact on w with a header line. The caller owns
+// w's lifetime; use Create for a file-backed artifact with Close.
+func NewTracer(w io.Writer, name string, attrs ...KV) *Tracer {
+	t := &Tracer{w: bufio.NewWriter(w), base: time.Now()}
+	t.emit(Line{Type: "trace", Name: name, Start: t.base.Format(time.RFC3339Nano), Attrs: attrMap(attrs)})
+	return t
+}
+
+// Create opens (truncating) a file-backed trace artifact at path.
+func Create(path, name string, attrs ...KV) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: creating trace artifact: %w", err)
+	}
+	t := NewTracer(f, name, attrs...)
+	t.closer = f
+	return t, nil
+}
+
+// Close flushes the artifact and closes the underlying file (if Create
+// opened one). Nil-safe.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w != nil {
+		if err := t.w.Flush(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.w = nil
+	}
+	if t.closer != nil {
+		if err := t.closer.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.closer = nil
+	}
+	return t.err
+}
+
+// Lines returns the number of records written (header included), for
+// tests and the avgchaos soak's "the recorder really recorded" assert.
+func (t *Tracer) Lines() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.lines.Load()
+}
+
+// emit writes one record. Every line is flushed through to the OS so the
+// artifact is readable mid-run and survives a crash of the process —
+// that is the point of a flight recorder; tracing is off on hot paths.
+func (t *Tracer) emit(l Line) {
+	data, err := json.Marshal(l)
+	if err != nil {
+		return // unmarshalable attr: drop the line, never the run
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w == nil || t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(append(data, '\n')); err != nil {
+		t.err = err
+		return
+	}
+	if err := t.w.Flush(); err != nil {
+		t.err = err
+		return
+	}
+	t.lines.Add(1)
+}
+
+func (t *Tracer) since() int64 {
+	return time.Since(t.base).Microseconds()
+}
+
+// Span is one timed operation of a trace. A nil Span is the disabled
+// path: all methods no-op and child spans are nil too.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	atUS   int64
+	attrs  []KV
+	ended  atomic.Bool
+}
+
+// Span starts a root span (parent == nil) or a child of parent.
+func (t *Tracer) Span(parent *Span, name string, attrs ...KV) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, id: t.nextID.Add(1), name: name, atUS: t.since(), attrs: attrs}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	return s
+}
+
+// Event records an instantaneous occurrence under parent (or at the
+// root when parent is nil). Written immediately.
+func (t *Tracer) Event(parent *Span, name string, attrs ...KV) {
+	if t == nil {
+		return
+	}
+	l := Line{Type: "event", Name: name, AtUS: t.since(), Attrs: attrMap(attrs)}
+	if parent != nil {
+		l.Parent = parent.id
+	}
+	t.emit(l)
+}
+
+// Span starts a child span. Nil-safe: children of a nil span are nil.
+func (s *Span) Span(name string, attrs ...KV) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.Span(s, name, attrs...)
+}
+
+// Event records an instantaneous occurrence under this span. Nil-safe.
+func (s *Span) Event(name string, attrs ...KV) {
+	if s == nil {
+		return
+	}
+	s.t.Event(s, name, attrs...)
+}
+
+// End closes the span and writes its line, folding extra attributes in
+// (realized sizes, error strings). Idempotent and nil-safe; only the
+// first End writes.
+func (s *Span) End(attrs ...KV) {
+	if s == nil || s.ended.Swap(true) {
+		return
+	}
+	s.t.emit(Line{
+		Type:   "span",
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		AtUS:   s.atUS,
+		DurUS:  s.t.since() - s.atUS,
+		Attrs:  attrMap(append(s.attrs, attrs...)),
+	})
+}
+
+func attrMap(attrs []KV) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.K] = a.V
+	}
+	return m
+}
+
+// ctxKey keys the active span in a context.
+type ctxKey struct{}
+
+// With returns ctx carrying span as the active span. A nil span returns
+// ctx unchanged, so disabled tracing adds no context layers.
+func With(ctx context.Context, span *Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// FromCtx returns the active span of ctx, or nil (including for a nil
+// ctx) — the nil span then no-ops every downstream trace call.
+func FromCtx(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

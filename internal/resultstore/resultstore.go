@@ -25,6 +25,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"avgloc/internal/obs"
 )
 
 // Stats counts store traffic.
@@ -58,7 +61,15 @@ type Store struct {
 	ll    *list.List // front = most recently used
 	index map[string]*list.Element
 	dir   string // "" = memory only
-	stats Stats
+
+	// Traffic counters are atomics, not fields under mu: they are read by
+	// the metrics registry (CounterFunc) from scrape handlers that must
+	// never contend with the store's own lock.
+	hits        atomic.Int64
+	misses      atomic.Int64
+	puts        atomic.Int64
+	evictions   atomic.Int64
+	quarantined atomic.Int64
 
 	tamper func(key string, raw []byte) ([]byte, bool)
 
@@ -241,7 +252,7 @@ func (s *Store) quarantineLocked(key string) {
 			}
 		}
 	}
-	s.stats.Quarantined++
+	s.quarantined.Add(1)
 }
 
 // Get returns the cached bytes for key. The returned slice is a copy. A
@@ -253,7 +264,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	if el, ok := s.index[key]; ok {
 		s.ll.MoveToFront(el)
 		val := append([]byte(nil), el.Value.(*entry).val...)
-		s.stats.Hits++
+		s.hits.Add(1)
 		s.mu.Unlock()
 		return val, true
 	}
@@ -266,7 +277,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 			s.mu.Lock()
 			if verr != nil {
 				s.quarantineLocked(key)
-				s.stats.Misses++
+				s.misses.Add(1)
 				s.mu.Unlock()
 				return nil, false
 			}
@@ -280,13 +291,13 @@ func (s *Store) Get(key string) ([]byte, bool) {
 				s.diskKeys = append(s.diskKeys, key)
 				s.pruneDiskLocked()
 			}
-			s.stats.Hits++
+			s.hits.Add(1)
 			s.mu.Unlock()
 			return append([]byte(nil), payload...), true
 		}
 	}
 	s.mu.Lock()
-	s.stats.Misses++
+	s.misses.Add(1)
 	s.mu.Unlock()
 	return nil, false
 }
@@ -300,7 +311,7 @@ func (s *Store) Put(key string, val []byte) error {
 	cp := append([]byte(nil), val...)
 	s.mu.Lock()
 	s.admit(key, cp)
-	s.stats.Puts++
+	s.puts.Add(1)
 	dir := s.dir
 	s.mu.Unlock()
 
@@ -353,7 +364,7 @@ func (s *Store) admit(key string, val []byte) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
 		delete(s.index, oldest.Value.(*entry).key)
-		s.stats.Evictions++
+		s.evictions.Add(1)
 	}
 }
 
@@ -366,9 +377,25 @@ func (s *Store) Len() int {
 
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Entries = s.ll.Len()
-	return st
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		Evictions:   s.evictions.Load(),
+		Quarantined: s.quarantined.Load(),
+		Entries:     s.Len(),
+	}
+}
+
+// RegisterMetrics publishes the store's counters on r under the
+// avg_store_* names. The registry reads the same atomics Stats snapshots,
+// so the Prometheus endpoint and the legacy JSON document can never
+// disagree.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	r.CounterFunc("avg_store_hits_total", "Result store cache hits (memory or verified disk).", s.hits.Load)
+	r.CounterFunc("avg_store_misses_total", "Result store cache misses.", s.misses.Load)
+	r.CounterFunc("avg_store_puts_total", "Result store writes.", s.puts.Load)
+	r.CounterFunc("avg_store_evictions_total", "In-memory LRU evictions.", s.evictions.Load)
+	r.CounterFunc("avg_store_quarantined_total", "Disk entries that failed checksum verification and were quarantined.", s.quarantined.Load)
+	r.GaugeFunc("avg_store_entries", "In-memory entries currently cached.", func() float64 { return float64(s.Len()) })
 }

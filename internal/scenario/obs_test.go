@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"avgloc/internal/obs"
+)
+
+// TestRunByteIdenticalTraced: enabling the flight recorder must not change
+// a single output byte at any parallelism — tracing writes to its own
+// artifact, never into the outcome.
+func TestRunByteIdenticalTraced(t *testing.T) {
+	spec := &Spec{
+		Graph:     "regular",
+		Params:    map[string]float64{"d": 4},
+		Algorithm: "mis/luby",
+		Trials:    3,
+		Seed:      33,
+		Sweep:     &Sweep{Param: "n", Values: []float64{32, 48, 64, 80}},
+	}
+	base, err := Run(spec, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, par := range []int{1, 2, 8, 64} {
+		var art strings.Builder
+		tr := obs.NewTracer(&art, "test.traced")
+		root := tr.Span(nil, "request")
+		ctx := obs.With(context.Background(), root)
+
+		out, err := Run(spec, Options{Parallelism: par, Ctx: ctx})
+		if err != nil {
+			t.Fatalf("parallelism %d traced: %v", par, err)
+		}
+		root.End()
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := out.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("parallelism %d: traced run produced different bytes", par)
+		}
+		for _, span := range []string{"scenario.run", "scenario.row"} {
+			if !strings.Contains(art.String(), `"name":"`+span+`"`) {
+				t.Fatalf("parallelism %d: artifact missing %s span", par, span)
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"avgloc/internal/core"
+	"avgloc/internal/obs"
 	"avgloc/internal/registry"
 	"avgloc/internal/seedmix"
 )
@@ -344,16 +345,24 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 	}
 	rowParams := rowParamsOf(n)
 	rows := make([]Row, len(rowParams))
+	// Tracing brackets rows, never trials: the hot measurement loop in
+	// core.Measure is untouched, and a nil span (tracing off) makes every
+	// call below a no-op.
+	runSpan := obs.FromCtx(opt.Ctx).Span("scenario.run",
+		obs.A("hash", hash), obs.A("rows", len(rowParams)), obs.A("trials", n.Trials))
 	err = runRows(len(rowParams), opt.Parallelism, func(i, measurePar int) error {
 		if opt.Ctx != nil && opt.Ctx.Err() != nil {
 			return opt.Ctx.Err()
 		}
+		rowSpan := runSpan.Span("scenario.row", obs.A("row", i), obs.A("parallelism", measurePar))
 		// Each row builds its own graph from a row-derived generator
 		// stream, so the graph is identical at every parallelism level and
 		// at most rowWorkers graphs are live at once.
 		g, err := fam.Build(rowParams[i], graphStream(n.Seed, i))
 		if err != nil {
-			return fmt.Errorf("scenario: row %d: %w", i, err)
+			err = fmt.Errorf("scenario: row %d: %w", i, err)
+			rowSpan.End(obs.A("error", err.Error()))
+			return err
 		}
 		runner, problem := entry.New()
 		rep, err := core.Measure(g, problem, runner, core.MeasureOptions{
@@ -362,14 +371,19 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 			Parallelism: measurePar,
 		})
 		if err != nil {
-			return fmt.Errorf("scenario: row %d (%s on %s): %w", i, n.Algorithm, g, err)
+			err = fmt.Errorf("scenario: row %d (%s on %s): %w", i, n.Algorithm, g, err)
+			rowSpan.End(obs.A("error", err.Error()))
+			return err
 		}
 		rows[i] = Row{Params: rowParams[i], Nodes: g.N(), Edges: g.M(), Report: rep}
+		rowSpan.End(obs.A("nodes", g.N()), obs.A("edges", g.M()))
 		return nil
 	})
 	if err != nil {
+		runSpan.End(obs.A("error", err.Error()))
 		return nil, err
 	}
+	runSpan.End()
 	return &Outcome{Spec: n, Hash: hash, Rows: rows}, nil
 }
 
