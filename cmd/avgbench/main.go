@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -32,7 +33,9 @@ import (
 	"runtime"
 	"time"
 
+	"avgloc/internal/graphstore"
 	"avgloc/internal/harness"
+	"avgloc/internal/registry"
 )
 
 func main() {
@@ -52,16 +55,31 @@ type expStats struct {
 	TableFNV string `json:"table_fnv64"` // hash of the rendered table, for bit-identity checks
 }
 
+// graphTiming records the graph store's two supply paths for a reference
+// graph: a cold build (generator + CSR persist) and a warm disk load. It
+// rides in the trajectory block so -check gates serialization perf the
+// same way it gates the experiments.
+type graphTiming struct {
+	Family      string `json:"family"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	BuildNs     int64  `json:"build_ns"`
+	BuildAllocs uint64 `json:"build_allocs"`
+	LoadNs      int64  `json:"load_ns"`
+	LoadAllocs  uint64 `json:"load_allocs"`
+}
+
 // benchBlock is one measured sweep over the selected experiments.
 type benchBlock struct {
-	Label       string     `json:"label"`
-	GoVersion   string     `json:"go_version,omitempty"`
-	GoMaxProcs  int        `json:"gomaxprocs,omitempty"`
-	Parallelism int        `json:"parallelism,omitempty"`
-	Seed        uint64     `json:"seed,omitempty"`
-	Scale       string     `json:"scale,omitempty"`
-	TotalWallNs int64      `json:"total_wall_ns"`
-	Experiments []expStats `json:"experiments"`
+	Label       string       `json:"label"`
+	GoVersion   string       `json:"go_version,omitempty"`
+	GoMaxProcs  int          `json:"gomaxprocs,omitempty"`
+	Parallelism int          `json:"parallelism,omitempty"`
+	Seed        uint64       `json:"seed,omitempty"`
+	Scale       string       `json:"scale,omitempty"`
+	TotalWallNs int64        `json:"total_wall_ns"`
+	Graph       *graphTiming `json:"graphstore,omitempty"`
+	Experiments []expStats   `json:"experiments"`
 }
 
 func run() error {
@@ -147,7 +165,70 @@ func run() error {
 	}
 
 	if *jsonPath != "" {
+		gt, err := measureGraphStore(*seed)
+		if err != nil {
+			return err
+		}
+		block.Graph = gt
+		fmt.Fprintf(os.Stderr, "avgbench: graphstore %s n=%d m=%d: build %.2fms (%d allocs), load %.2fms (%d allocs)\n",
+			gt.Family, gt.Nodes, gt.Edges, float64(gt.BuildNs)/1e6, gt.BuildAllocs, float64(gt.LoadNs)/1e6, gt.LoadAllocs)
 		return writeJSON(*jsonPath, block)
 	}
 	return nil
+}
+
+// measureGraphStore times one reference graph through the store's two
+// supply paths — a cold Get (generator run + artifact persist) and a warm
+// Get over a fresh store bound to the same directory (pure CSR load) — and
+// sanity-checks the store counters so the numbers measure what they claim.
+func measureGraphStore(seed uint64) (*graphTiming, error) {
+	dir, err := os.MkdirTemp("", "avgbench-graphs-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	const family = "regular"
+	params := registry.Values{"n": 4096, "d": 6}
+	var before, after runtime.MemStats
+
+	cold, err := graphstore.New(0, dir)
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	g, err := cold.Get(context.Background(), family, params, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	buildWall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	buildAllocs := after.Mallocs - before.Mallocs
+	if s := cold.Stats(); s.Builds != 1 {
+		return nil, fmt.Errorf("graph timing: cold store built %d graphs, want 1", s.Builds)
+	}
+
+	warm, err := graphstore.New(0, dir)
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	if _, err := warm.Get(context.Background(), family, params, seed, 0); err != nil {
+		return nil, err
+	}
+	loadWall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if s := warm.Stats(); s.Builds != 0 || s.Loads != 1 {
+		return nil, fmt.Errorf("graph timing: warm store builds=%d loads=%d, want 0/1", s.Builds, s.Loads)
+	}
+	return &graphTiming{
+		Family:      family,
+		Nodes:       g.N(),
+		Edges:       g.M(),
+		BuildNs:     buildWall.Nanoseconds(),
+		BuildAllocs: buildAllocs,
+		LoadNs:      loadWall.Nanoseconds(),
+		LoadAllocs:  after.Mallocs - before.Mallocs,
+	}, nil
 }

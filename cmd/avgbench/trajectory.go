@@ -120,6 +120,32 @@ func checkTrajectory(f *benchFile, maxWallRatio, maxAllocRatio float64) []string
 			}
 		}
 	}
+	// The graph-store timing block gates like an experiment: build and load
+	// legs each get the alloc and (optional) wall tolerances. Blocks from
+	// before the store existed have no timing and are skipped.
+	if prev.Graph != nil && cur.Graph != nil {
+		for _, leg := range []struct {
+			name   string
+			pa, ca uint64
+			pw, cw int64
+		}{
+			{"graphstore build", prev.Graph.BuildAllocs, cur.Graph.BuildAllocs, prev.Graph.BuildNs, cur.Graph.BuildNs},
+			{"graphstore load", prev.Graph.LoadAllocs, cur.Graph.LoadAllocs, prev.Graph.LoadNs, cur.Graph.LoadNs},
+		} {
+			if maxAllocRatio > 0 && leg.pa > 0 {
+				if ratio := float64(leg.ca) / float64(leg.pa); ratio > maxAllocRatio {
+					bad = append(bad, fmt.Sprintf("%s: allocs %d -> %d (%.2fx > %.2fx tolerance) [%q -> %q]",
+						leg.name, leg.pa, leg.ca, ratio, maxAllocRatio, prev.Label, cur.Label))
+				}
+			}
+			if maxWallRatio > 0 && leg.pw > 0 {
+				if ratio := float64(leg.cw) / float64(leg.pw); ratio > maxWallRatio {
+					bad = append(bad, fmt.Sprintf("%s: wall %.1fms -> %.1fms (%.2fx > %.2fx tolerance) [%q -> %q]",
+						leg.name, float64(leg.pw)/1e6, float64(leg.cw)/1e6, ratio, maxWallRatio, prev.Label, cur.Label))
+				}
+			}
+		}
+	}
 	return bad
 }
 

@@ -136,6 +136,42 @@ func TestCheckTrajectoryGate(t *testing.T) {
 	}
 }
 
+// TestCheckTrajectoryGraphTiming: the graphstore block gates build and
+// load legs like experiments, skips blocks that predate the store, and
+// respects the wall toggle.
+func TestCheckTrajectoryGraphTiming(t *testing.T) {
+	gt := func(buildAllocs, loadAllocs uint64, buildNs, loadNs int64) *graphTiming {
+		return &graphTiming{Family: "regular", Nodes: 4096, Edges: 12288,
+			BuildAllocs: buildAllocs, LoadAllocs: loadAllocs, BuildNs: buildNs, LoadNs: loadNs}
+	}
+	prev := benchBlock{Label: "prev", Graph: gt(1000, 100, 100, 10)}
+	within := benchBlock{Label: "cur", Graph: gt(1200, 110, 100, 10)}
+	if bad := checkTrajectory(trajOf(prev, within), 0, 1.25); len(bad) != 0 {
+		t.Fatalf("false positive: %v", bad)
+	}
+
+	loadBlown := benchBlock{Label: "cur", Graph: gt(1000, 400, 100, 10)} // load allocs 4x
+	bad := checkTrajectory(trajOf(prev, loadBlown), 0, 1.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "graphstore load") || !strings.Contains(bad[0], "allocs") {
+		t.Fatalf("load alloc regression not flagged: %v", bad)
+	}
+
+	slowBuild := benchBlock{Label: "cur", Graph: gt(1000, 100, 1000, 10)} // build wall 10x
+	if bad := checkTrajectory(trajOf(prev, slowBuild), 0, 1.25); len(bad) != 0 {
+		t.Fatalf("wall gate fired while disabled: %v", bad)
+	}
+	bad = checkTrajectory(trajOf(prev, slowBuild), 3.0, 1.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "graphstore build") || !strings.Contains(bad[0], "wall") {
+		t.Fatalf("build wall regression not flagged: %v", bad)
+	}
+
+	// A predecessor without the block (pre-graphstore trajectory) never gates.
+	old := benchBlock{Label: "prev"}
+	if bad := checkTrajectory(trajOf(old, loadBlown), 3.0, 1.25); len(bad) != 0 {
+		t.Fatalf("pre-graphstore block gated: %v", bad)
+	}
+}
+
 // TestRunCheckSyntheticRegression is the CI gate in miniature: a copy of
 // the trajectory with the newest block's allocs inflated must fail -check.
 func TestRunCheckSyntheticRegression(t *testing.T) {

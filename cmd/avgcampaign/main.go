@@ -41,6 +41,7 @@ import (
 
 	"avgloc/internal/campaign"
 	"avgloc/internal/fleet"
+	"avgloc/internal/graphstore"
 	"avgloc/internal/obs"
 	"avgloc/internal/resultstore"
 )
@@ -59,6 +60,7 @@ func run() error {
 	fleetListen := flag.String("fleet-listen", "", "serve the fleet worker protocol on this address and dispatch scenarios across attached avgworkers (in-process mode)")
 	cacheDir := flag.String("cache-dir", "", "optional persistent result cache directory (in-process mode)")
 	cacheSize := flag.Int("cache-size", 256, "in-memory result cache entries (in-process mode)")
+	graphCacheDir := flag.String("graph-cache-dir", "", "optional persistent graph artifact directory (in-process mode; a warm dir reruns the campaign with zero generator invocations)")
 	strict := flag.Bool("strict", false, "exit non-zero when any hypothesis is REJECTED or INCONCLUSIVE")
 	tracePath := flag.String("trace", "", "write a flight-recorder trace artifact (NDJSON, read with avgtrace) for the in-process run")
 	flag.Parse()
@@ -95,7 +97,7 @@ func run() error {
 		rep, err = runRemote(*server, data)
 	} else {
 		root := tracer.Span(nil, "request", obs.A("parallelism", *parallelism))
-		rep, err = runLocal(obs.With(ctx, root), data, *parallelism, *cacheDir, *cacheSize, *fleetListen)
+		rep, err = runLocal(obs.With(ctx, root), data, *parallelism, *cacheDir, *cacheSize, *graphCacheDir, *fleetListen)
 		if err != nil {
 			root.End(obs.A("error", err.Error()))
 		} else {
@@ -127,7 +129,7 @@ func run() error {
 	return nil
 }
 
-func runLocal(ctx context.Context, data []byte, parallelism int, cacheDir string, cacheSize int, fleetListen string) (*campaign.Report, error) {
+func runLocal(ctx context.Context, data []byte, parallelism int, cacheDir string, cacheSize int, graphCacheDir string, fleetListen string) (*campaign.Report, error) {
 	c, err := campaign.Parse(data)
 	if err != nil {
 		return nil, err
@@ -138,12 +140,19 @@ func runLocal(ctx context.Context, data []byte, parallelism int, cacheDir string
 			return nil, err
 		}
 	}
+	var graphs *graphstore.Store
+	if graphCacheDir != "" {
+		if graphs, err = graphstore.New(0, graphCacheDir); err != nil {
+			return nil, err
+		}
+	}
 	if parallelism <= 0 {
 		parallelism = goruntime.GOMAXPROCS(0)
 	}
 	opts := campaign.Options{
 		Parallelism: parallelism,
 		Store:       store,
+		Graphs:      graphs,
 		Ctx:         ctx,
 		OnScenario: func(r campaign.ScenarioRun) {
 			status := "done"

@@ -12,7 +12,8 @@
 // Each stage escalates the fault pressure: injected latency, dropped
 // connections, synthesized 503s, duplicated deliveries, bit-flipped and
 // truncated bodies on the worker protocol, plus torn/corrupted/dropped
-// writes on the shared chunk cache. The final stage additionally
+// writes on the shared chunk cache AND on the workers' shared graph
+// artifact store (internal/graphstore). The final stage additionally
 // SIGTERM-drains one worker mid-run (context cancellation — the same path
 // cmd/avgworker takes on a real SIGTERM). Every stage runs three ways:
 //
@@ -22,8 +23,10 @@
 //     entries quarantine and re-execute).
 //
 // All three must produce byte-identical MarshalStable reports, every
-// transport and disk fault class must actually fire, and at least one
-// corrupted cache entry must be quarantined — otherwise the soak exits 1.
+// transport and disk fault class must actually fire, at least one
+// corrupted cache entry must be quarantined, and at least one corrupted
+// graph artifact must be quarantined and rebuilt byte-identically —
+// otherwise the soak exits 1.
 // -out writes the concatenated per-stage report bytes; running twice with
 // the same seed and cmp-ing the files proves the soak itself replays.
 package main
@@ -43,6 +46,7 @@ import (
 	"avgloc/internal/campaign"
 	"avgloc/internal/chaos"
 	"avgloc/internal/fleet"
+	"avgloc/internal/graphstore"
 	"avgloc/internal/obs"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
@@ -85,7 +89,11 @@ func stages() []stage {
 // soakCampaign builds the per-stage workload. Spec seeds differ per stage
 // so every stage exercises the dispatch path instead of the previous
 // stage's chunk cache; they are a pure function of (seed, stage), keeping
-// the whole soak replayable.
+// the whole soak replayable. The graphs are random trees, not cycles, on
+// purpose: a Random family's artifact key includes the row seed pair, so
+// every stage writes fresh graph artifacts through the tampered disk hook
+// instead of reusing the calm stage's files — the graph-store quarantine
+// path stays under fire all soak long.
 func soakCampaign(seed uint64, si, trials int) *campaign.Campaign {
 	specSeed := func(i int) uint64 { return seed*1000 + uint64(si)*10 + uint64(i) }
 	return &campaign.Campaign{
@@ -94,7 +102,7 @@ func soakCampaign(seed uint64, si, trials int) *campaign.Campaign {
 			{
 				Name: "luby-sweep",
 				Spec: scenario.Spec{
-					Graph: "cycle", Algorithm: "mis/luby", Trials: trials, Seed: specSeed(0),
+					Graph: "tree", Algorithm: "mis/luby", Trials: trials, Seed: specSeed(0),
 					Sweep: &scenario.Sweep{Param: "n", Values: []float64{24, 40, 56}},
 				},
 				Hypothesis: &campaign.Hypothesis{Measure: campaign.MeasureNodeAvg, Expect: "log"},
@@ -102,7 +110,7 @@ func soakCampaign(seed uint64, si, trials int) *campaign.Campaign {
 			{
 				Name: "luby-point",
 				Spec: scenario.Spec{
-					Graph: "cycle", Params: map[string]float64{"n": 40},
+					Graph: "tree", Params: map[string]float64{"n": 40},
 					Algorithm: "mis/luby", Trials: trials, Seed: specSeed(1),
 				},
 			},
@@ -151,6 +159,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The workers' shared graph store writes through the same tampered disk.
+	// A 4 KiB memory budget holds one or two of the soak's ~2 KiB tree
+	// graphs — small enough that sweep revisits and warm replays fall
+	// through to the disk tier (the layer the plan corrupts), while the
+	// disk cap (16x) still retains every artifact. A quarantined artifact
+	// rebuilds deterministically; the byte-identity checks below prove the
+	// rebuild is exact.
+	gstore, err := graphstore.NewWithOptions(4096, dir+"/graphs", graphstore.Options{TamperDiskWrite: inj.TamperDiskWrite})
+	if err != nil {
+		return err
+	}
 	coord := fleet.NewCoordinator(fleet.Config{
 		ChunkTrials:      2,
 		HeartbeatTimeout: time.Second,
@@ -184,6 +203,7 @@ func run() error {
 			Seed:        *seed + uint64(i) + 1,
 			DrainGrace:  5 * time.Second,
 			Client:      &http.Client{Transport: inj.Transport(nil)},
+			Graphs:      gstore,
 			Trace:       tracer,
 		}
 		wg.Add(1)
@@ -271,10 +291,13 @@ func run() error {
 		}
 	}
 	ss := store.Stats()
+	gs := gstore.Stats()
 	fs := coord.Stats()
 	chaosJSON, _ := json.Marshal(cs)
 	fmt.Fprintf(os.Stderr, "chaos: %s\n", chaosJSON)
 	fmt.Fprintf(os.Stderr, "store: quarantined=%d hits=%d misses=%d\n", ss.Quarantined, ss.Hits, ss.Misses)
+	fmt.Fprintf(os.Stderr, "graphstore: builds=%d loads=%d quarantined=%d hits=%d misses=%d evictions=%d\n",
+		gs.Builds, gs.Loads, gs.Quarantined, gs.Hits, gs.Misses, gs.Evictions)
 	fmt.Fprintf(os.Stderr, "fleet: dispatched=%d completed=%d cached=%d retried=%d stolen=%d duplicate=%d failed=%d\n",
 		fs.ChunksDispatched, fs.ChunksCompleted, fs.ChunksCached, fs.ChunksRetried, fs.ChunksStolen, fs.ChunksDuplicate, fs.ChunksFailed)
 	if missing != "" {
@@ -282,6 +305,12 @@ func run() error {
 	}
 	if ss.Quarantined == 0 {
 		return fmt.Errorf("no corrupted cache entry was quarantined — the disk fault path went unexercised")
+	}
+	if gs.Quarantined == 0 {
+		return fmt.Errorf("no corrupted graph artifact was quarantined — the graph-store disk fault path went unexercised")
+	}
+	if gs.Builds == 0 || gs.Loads == 0 {
+		return fmt.Errorf("graph store never exercised both tiers (builds=%d loads=%d)", gs.Builds, gs.Loads)
 	}
 	if fs.ChunksCached == 0 {
 		return fmt.Errorf("warm replay served nothing from the chunk cache")
@@ -292,8 +321,8 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("avgchaos: %d stages byte-identical under %d injected faults (%d quarantined chunk files)\n",
-		len(stages()), cs.Total(), ss.Quarantined)
+	fmt.Printf("avgchaos: %d stages byte-identical under %d injected faults (%d quarantined chunk files, %d quarantined graph artifacts)\n",
+		len(stages()), cs.Total(), ss.Quarantined, gs.Quarantined)
 	return nil
 }
 

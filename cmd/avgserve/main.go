@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"avgloc/internal/fleet"
+	"avgloc/internal/graphstore"
 	"avgloc/internal/resultstore"
 )
 
@@ -68,6 +69,8 @@ func run() error {
 	parallelism := flag.Int("parallelism", 1, "per-scenario worker budget over sweep rows and trials (bit-identical at any level)")
 	cacheSize := flag.Int("cache-size", 1024, "in-memory result cache entries")
 	cacheDir := flag.String("cache-dir", "", "optional directory for persistent result cache")
+	graphCacheDir := flag.String("graph-cache-dir", "", "optional directory for persistent graph artifacts (content-addressed CSR files; a warm dir reruns sweeps with zero generator invocations)")
+	graphCacheMB := flag.Int("graph-cache-mb", 256, "in-memory graph store budget in MiB")
 	fleetMode := flag.Bool("fleet", false, "mount the fleet coordinator and dispatch runs across attached avgworkers")
 	chunkTrials := flag.Int("fleet-chunk-trials", fleet.DefaultChunkTrials, "trials per dispatched chunk (stable sharding; chunk-cache keys depend on it)")
 	heartbeat := flag.Duration("fleet-heartbeat", fleet.DefaultHeartbeatTimeout, "lease expiry without a worker heartbeat; silent workers deregister after twice this")
@@ -84,6 +87,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	graphs, err := graphstore.New(int64(*graphCacheMB)<<20, *graphCacheDir)
+	if err != nil {
+		return err
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			return fmt.Errorf("creating -trace-dir: %w", err)
@@ -91,6 +98,7 @@ func run() error {
 	}
 	cfg := serverConfig{
 		store:            store,
+		graphs:           graphs,
 		workers:          *workers,
 		par:              *parallelism,
 		requestTimeout:   *requestTimeout,
@@ -112,8 +120,8 @@ func run() error {
 		})
 	}
 	srv := newServerCfg(cfg)
-	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q fleet=%v timeout=%v trace=%q pprof=%v)",
-		*addr, *workers, *parallelism, *cacheSize, *cacheDir, *fleetMode, *requestTimeout, *traceDir, *pprofFlag)
+	log.Printf("avgserve: listening on %s (workers=%d parallelism=%d cache=%d dir=%q graph-dir=%q fleet=%v timeout=%v trace=%q pprof=%v)",
+		*addr, *workers, *parallelism, *cacheSize, *cacheDir, *graphCacheDir, *fleetMode, *requestTimeout, *traceDir, *pprofFlag)
 
 	// Graceful drain on SIGTERM/SIGINT: stop accepting, let in-flight
 	// requests (and their fleet chunks) finish within -drain-timeout, then

@@ -17,6 +17,7 @@ import (
 
 	"avgloc/internal/campaign"
 	"avgloc/internal/fleet"
+	"avgloc/internal/graphstore"
 	"avgloc/internal/obs"
 	"avgloc/internal/registry"
 	"avgloc/internal/resultstore"
@@ -58,6 +59,7 @@ type job struct {
 type server struct {
 	mux      *http.ServeMux
 	store    *resultstore.Store
+	graphs   *graphstore.Store
 	par      int // scenario.Options.Parallelism: per-run budget over rows × trials
 	workers  int
 	queue    chan *job
@@ -122,6 +124,10 @@ type serverConfig struct {
 	traceDir string
 	// pprof mounts net/http/pprof under /debug/pprof/.
 	pprof bool
+	// graphs is the graph artifact store local execution fetches graphs
+	// through (nil = a fresh memory-only store; -graph-cache-dir makes it
+	// disk-backed so a restarted server rebuilds nothing).
+	graphs *graphstore.Store
 }
 
 // newServer starts `workers` pool goroutines and returns the ready server.
@@ -140,9 +146,13 @@ func newServerCfg(cfg serverConfig) *server {
 	if cfg.queueCap <= 0 {
 		cfg.queueCap = 256
 	}
+	if cfg.graphs == nil {
+		cfg.graphs, _ = graphstore.New(0, "")
+	}
 	s := &server{
 		mux:            http.NewServeMux(),
 		store:          cfg.store,
+		graphs:         cfg.graphs,
 		par:            cfg.par,
 		workers:        cfg.workers,
 		queue:          make(chan *job, cfg.queueCap),
@@ -211,6 +221,7 @@ func (s *server) registerMetrics() {
 		return float64(s.retryAfter())
 	})
 	s.store.RegisterMetrics(s.reg)
+	s.graphs.RegisterMetrics(s.reg)
 	if s.coord != nil {
 		s.coord.RegisterMetrics(s.reg)
 	}
@@ -343,7 +354,7 @@ func (s *server) runSpec(ctx context.Context, spec *scenario.Spec) (out *scenari
 		s.breaker.Failure()
 		log.Printf("avgserve: fleet unavailable (%v), running locally", err)
 	}
-	out, err = scenario.Run(spec, scenario.Options{Parallelism: s.par, Ctx: ctx})
+	out, err = scenario.Run(spec, scenario.Options{Parallelism: s.par, Ctx: ctx, Graphs: s.graphs})
 	return out, false, err
 }
 
@@ -528,16 +539,20 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // repeated campaign executed nothing, or that a run really fanned out
 // across workers.
 type metrics struct {
-	Store          resultstore.Stats `json:"store"`
-	InFlight       int               `json:"in_flight"`
-	QueueDepth     int               `json:"queue_depth"`
-	QueueCap       int               `json:"queue_cap"`
-	JobsTotal      int64             `json:"jobs_total"`
-	RunsCompleted  int64             `json:"runs_completed"`
-	RunsFailed     int64             `json:"runs_failed"`
-	RunsCached     int64             `json:"runs_cached"`
-	RunsFleet      int64             `json:"runs_fleet"`
-	CampaignsTotal int64             `json:"campaigns_total"`
+	Store resultstore.Stats `json:"store"`
+	// GraphStore is the graph artifact store's traffic: builds counts
+	// generator invocations, so a warm -graph-cache-dir restart shows
+	// builds=0 on a repeated sweep (the CI smoke asserts exactly that).
+	GraphStore     graphstore.Stats `json:"graphstore"`
+	InFlight       int              `json:"in_flight"`
+	QueueDepth     int              `json:"queue_depth"`
+	QueueCap       int              `json:"queue_cap"`
+	JobsTotal      int64            `json:"jobs_total"`
+	RunsCompleted  int64            `json:"runs_completed"`
+	RunsFailed     int64            `json:"runs_failed"`
+	RunsCached     int64            `json:"runs_cached"`
+	RunsFleet      int64            `json:"runs_fleet"`
+	CampaignsTotal int64            `json:"campaigns_total"`
 	// Degradation observables: every hardened failure path leaves a count
 	// here, so degraded service is visible rather than silent.
 	DeadlineExceeded  int64 `json:"deadline_exceeded"`
@@ -566,6 +581,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	m := metrics{
 		Store:             st,
+		GraphStore:        s.graphs.Stats(),
 		InFlight:          inFlight,
 		QueueDepth:        len(s.queue),
 		QueueCap:          s.queueCap,

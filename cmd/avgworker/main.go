@@ -34,6 +34,7 @@ import (
 
 	"avgloc/internal/chaos"
 	"avgloc/internal/fleet"
+	"avgloc/internal/graphstore"
 	"avgloc/internal/obs"
 )
 
@@ -50,6 +51,7 @@ func run() error {
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0), "per-chunk trial fan-out (no effect on merged bytes)")
 	poll := flag.Duration("poll", 0, "idle re-poll interval (0 = coordinator-advertised)")
 	drainGrace := flag.Duration("drain-grace", fleet.DefaultDrainGrace, "post-SIGTERM window for finishing and uploading the chunk in flight")
+	graphCacheDir := flag.String("graph-cache-dir", "", "optional directory for persistent graph artifacts (graphs also persist in memory across chunks without it)")
 	chaosPlan := flag.String("chaos-plan", "", "JSON fault plan (internal/chaos); injects deterministic transport faults into coordinator round-trips")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection stream seed (with -chaos-plan)")
 	tracePath := flag.String("trace", "", "write a flight-recorder trace artifact (NDJSON, read with avgtrace): one chunk.execute/chunk.upload span pair per leased chunk")
@@ -76,6 +78,14 @@ func run() error {
 		Poll:        *poll,
 		DrainGrace:  *drainGrace,
 		Logf:        log.Printf,
+	}
+	if *graphCacheDir != "" {
+		graphs, err := graphstore.New(0, *graphCacheDir)
+		if err != nil {
+			return err
+		}
+		w.Graphs = graphs
+		log.Printf("avgworker: graph artifact cache at %s", *graphCacheDir)
 	}
 	if *tracePath != "" {
 		tracer, err := obs.Create(*tracePath, "avgworker", obs.A("worker", label))

@@ -21,14 +21,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand/v2"
 	"os"
 	"strconv"
 	"strings"
 
 	"avgloc/internal/core"
+	"avgloc/internal/graphstore"
 	"avgloc/internal/measure"
 	"avgloc/internal/registry"
 )
@@ -87,6 +88,7 @@ func run() error {
 	trials := flag.Int("trials", 3, "independent trials")
 	seed := flag.Uint64("seed", 1, "master seed")
 	parallel := flag.Int("parallel", 1, "trial parallelism (reports are bit-identical at any level)")
+	graphCacheDir := flag.String("graph-cache-dir", "", "optional persistent graph artifact directory (shared with avgserve/avgworker; a warm dir skips the generator)")
 	dist := flag.Bool("dist", false, "print the completion-time distribution (quantiles, log2 histogram, trial variance)")
 	flag.Parse()
 
@@ -139,8 +141,17 @@ func run() error {
 		}
 	}
 
-	rng := rand.New(rand.NewPCG(*seed, 99))
-	g, err := fam.Build(params, rng)
+	// The graph comes from the content-addressed store under the same seed
+	// pair the direct build always used, so the bytes are unchanged; with
+	// -graph-cache-dir a repeat invocation loads the CSR artifact instead of
+	// re-running the generator.
+	gs := graphstore.Shared()
+	if *graphCacheDir != "" {
+		if gs, err = graphstore.New(0, *graphCacheDir); err != nil {
+			return err
+		}
+	}
+	g, err := gs.Get(context.Background(), fam.Name, params, *seed, 99)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@
 //	internal/core        — problems, runners, measurement
 //	internal/registry    — named graph families and algorithms (data-driven workload selection)
 //	internal/scenario    — declarative JSON scenario specs with canonical content hashes
+//	internal/graphstore  — content-addressed graph artifacts: memory LRU + checksummed CSR disk tier
 //	internal/resultstore — LRU result cache (optional disk persistence) keyed by (hash, seed)
 //	internal/fit         — growth-class classification of measured sweeps
 //	internal/campaign    — hypothesis campaigns: scenarios + claims → verdicts
@@ -79,7 +80,12 @@
 // that layer over HTTP behind a bounded worker pool, caching each
 // outcome's exact byte rendering in internal/resultstore under (hash,
 // seed): identical submissions are answered from the cache
-// bit-identically, at any worker count. POST /v1/batch accepts up to 32
+// bit-identically, at any worker count. One level below the result cache,
+// internal/graphstore supplies every layer's graphs as content-addressed
+// artifacts — an in-memory LRU over immutable graphs plus an optional
+// checksummed CSR disk tier (-graph-cache-dir) that reruns a sweep with
+// zero generator invocations and quarantines anything corrupt before a
+// deterministic rebuild. POST /v1/batch accepts up to 32
 // specs in one request, dedupes them against the store, in-flight jobs
 // and each other, and streams one NDJSON completion line per spec. GET
 // /v1/metrics exposes the cache and run counters that make the dedupe

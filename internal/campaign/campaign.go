@@ -34,6 +34,7 @@ import (
 
 	"avgloc/internal/core"
 	"avgloc/internal/fit"
+	"avgloc/internal/graphstore"
 	"avgloc/internal/obs"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
@@ -476,6 +477,13 @@ type Options struct {
 	// each opening its own; because fleet execution is byte-identical to
 	// local, the report does not depend on which executor ran.
 	Execute func(ctx context.Context, spec *scenario.Spec, parallelism int) (*scenario.Outcome, error)
+	// Graphs, if non-nil, is the graph store local scenario execution
+	// fetches graphs through (-graph-cache-dir): campaign scenarios that
+	// sweep the same families share builds, and a warm disk tier runs a
+	// repeat campaign with zero generator invocations. Nil selects the
+	// process-wide shared store. Ignored when Execute is set — a remote
+	// executor's workers own their stores.
+	Graphs *graphstore.Store
 }
 
 // Run executes the campaign and evaluates its hypotheses. Scenarios with
@@ -542,7 +550,7 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 	runSpec := opt.Execute
 	if runSpec == nil {
 		runSpec = func(ctx context.Context, spec *scenario.Spec, parallelism int) (*scenario.Outcome, error) {
-			return scenario.Run(spec, scenario.Options{Parallelism: parallelism, Ctx: ctx})
+			return scenario.Run(spec, scenario.Options{Parallelism: parallelism, Ctx: ctx, Graphs: opt.Graphs})
 		}
 	}
 	// The campaign span parents one campaign.scenario span per unique

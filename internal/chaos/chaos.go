@@ -49,7 +49,9 @@ type Plan struct {
 	TruncateResp float64 `json:"truncate_resp,omitempty"`  // the response body is cut short
 	CorruptResp  float64 `json:"corrupt_resp,omitempty"`   // one bit of the response body flips
 
-	// Result-store disk faults (resultstore.Options.TamperDiskWrite).
+	// Disk-write faults, shared by the result cache and the graph artifact
+	// store (resultstore.Options.TamperDiskWrite and
+	// graphstore.Options.TamperDiskWrite take the same hook).
 	TornWrite    float64 `json:"torn_write,omitempty"`    // the file is truncated mid-write
 	CorruptWrite float64 `json:"corrupt_write,omitempty"` // one bit of the file flips
 	DropWrite    float64 `json:"drop_write,omitempty"`    // the file never appears
@@ -310,10 +312,11 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	return resp, nil
 }
 
-// TamperDiskWrite is the resultstore.Options.TamperDiskWrite hook: torn
-// writes (truncation), corrupted writes (a bit flip) and dropped writes
-// (the file never appears). The store's checksum layer must turn all three
-// into quarantined misses.
+// TamperDiskWrite is the disk-write fault hook — it fits both
+// resultstore.Options.TamperDiskWrite and graphstore.Options.TamperDiskWrite:
+// torn writes (truncation), corrupted writes (a bit flip) and dropped
+// writes (the file never appears). The stores' checksum layers must turn
+// all three into quarantined (or plain) misses.
 func (in *Injector) TamperDiskWrite(key string, raw []byte) ([]byte, bool) {
 	in.mu.Lock()
 	p, r := &in.plan, in.rng

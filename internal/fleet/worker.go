@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"avgloc/internal/graphstore"
 	"avgloc/internal/obs"
 	"avgloc/internal/scenario"
 )
@@ -48,6 +49,12 @@ type Worker struct {
 	// chunk.execute span around RunChunk and a chunk.upload span around the
 	// result upload — into its own flight-recorder artifact.
 	Trace *obs.Tracer
+	// Graphs, if non-nil, is the graph store chunks fetch their graphs
+	// through — typically disk-backed (-graph-cache-dir) so graphs survive
+	// worker restarts. Nil falls back to the process-wide shared store:
+	// either way the store persists across jobs, so a 64-chunk row builds
+	// its graph once per worker process instead of 64 times.
+	Graphs *graphstore.Store
 }
 
 // errLapsed reports a registration the coordinator no longer recognizes.
@@ -240,7 +247,13 @@ func (w *Worker) executeAndReport(ctx context.Context, workerID string, job *Chu
 	start := time.Now()
 	execSpan := w.Trace.Span(nil, "chunk.execute", obs.A("chunk", job.ID),
 		obs.A("worker", workerID), obs.A("row", job.Row), obs.A("lo", job.TrialLo), obs.A("hi", job.TrialHi))
-	chunk, err := scenario.RunChunk(&job.Spec, job.Row, job.TrialLo, job.TrialHi, par)
+	chunk, err := scenario.RunChunkOpts(&job.Spec, job.Row, job.TrialLo, job.TrialHi, scenario.ChunkOptions{
+		Parallelism: par,
+		Graphs:      w.Graphs,
+		// The execute span parents graph.build/graph.load, so the worker's
+		// trace artifact shows whether each chunk's graph was cached.
+		Ctx: obs.With(context.Background(), execSpan),
+	})
 	stopHB()
 	req := completeRequest{WorkerID: workerID, ChunkID: job.ID}
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strconv"
 	"strings"
 
 	"avgloc/internal/alg/coloring"
@@ -48,6 +49,24 @@ func (v Values) Clone() Values {
 		out[k] = x
 	}
 	return out
+}
+
+// AppendCanonical writes the canonical rendering of v to b: one
+// "param.<name>=<value>" line per parameter in sorted name order, each value
+// formatted with strconv.FormatFloat(x, 'g', -1, 64). This is the single
+// stable-ordering machinery behind every content-addressed key derived from
+// a parameter map — scenario content hashes and graph-store keys both render
+// through it — so JSON field order and map iteration order can never split
+// a cache.
+func (v Values) AppendCanonical(b *strings.Builder) {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "param.%s=%s\n", k, strconv.FormatFloat(v[k], 'g', -1, 64))
+	}
 }
 
 // GraphFamily is a named, parameterized graph generator.

@@ -165,3 +165,31 @@ func TestRandomFamiliesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendCanonical pins the exact rendering of the shared canonical
+// parameter machinery: sorted keys, FormatFloat 'g' shortest form, one
+// "param.k=v" line each. Both the scenario content hash and the graph-store
+// key hash these bytes, so the format is load-bearing — changing it
+// silently re-keys two caches at once.
+func TestAppendCanonical(t *testing.T) {
+	v := Values{}
+	v["n"] = 1024
+	v["p"] = 0.005
+	v["alpha"] = 2.5
+	var b strings.Builder
+	v.AppendCanonical(&b)
+	want := "param.alpha=2.5\nparam.n=1024\nparam.p=0.005\n"
+	if b.String() != want {
+		t.Fatalf("canonical rendering %q, want %q", b.String(), want)
+	}
+	// Insertion order never shows: a permuted copy renders identically.
+	p := Values{}
+	p["p"] = 0.005
+	p["alpha"] = 2.5
+	p["n"] = 1024
+	var b2 strings.Builder
+	p.AppendCanonical(&b2)
+	if b2.String() != b.String() {
+		t.Fatalf("permuted insertion changed rendering: %q vs %q", b2.String(), b.String())
+	}
+}

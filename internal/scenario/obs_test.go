@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"avgloc/internal/graphstore"
 	"avgloc/internal/obs"
 )
 
@@ -36,7 +37,13 @@ func TestRunByteIdenticalTraced(t *testing.T) {
 		root := tr.Span(nil, "request")
 		ctx := obs.With(context.Background(), root)
 
-		out, err := Run(spec, Options{Parallelism: par, Ctx: ctx})
+		// A fresh store per traced run: every row's graph is a cold build,
+		// so the artifact must carry graph.build spans under scenario.row.
+		store, err := graphstore.New(0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Run(spec, Options{Parallelism: par, Ctx: ctx, Graphs: store})
 		if err != nil {
 			t.Fatalf("parallelism %d traced: %v", par, err)
 		}
@@ -51,10 +58,45 @@ func TestRunByteIdenticalTraced(t *testing.T) {
 		if !bytes.Equal(got, want) {
 			t.Fatalf("parallelism %d: traced run produced different bytes", par)
 		}
-		for _, span := range []string{"scenario.run", "scenario.row"} {
+		for _, span := range []string{"scenario.run", "scenario.row", "graph.build"} {
 			if !strings.Contains(art.String(), `"name":"`+span+`"`) {
 				t.Fatalf("parallelism %d: artifact missing %s span", par, span)
 			}
 		}
+	}
+}
+
+// TestWarmStoreEmitsLoadSpans: a run over a warm disk tier records
+// graph.load spans (and no graph.build), so a trace artifact tells the
+// operator where each graph came from.
+func TestWarmStoreEmitsLoadSpans(t *testing.T) {
+	spec := &Spec{Graph: "regular", Params: map[string]float64{"n": 48, "d": 4}, Algorithm: "mis/luby", Trials: 2, Seed: 5}
+	dir := t.TempDir()
+	cold, err := graphstore.New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, Options{Parallelism: 1, Graphs: cold}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := graphstore.New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art strings.Builder
+	tr := obs.NewTracer(&art, "test.warm")
+	root := tr.Span(nil, "request")
+	if _, err := Run(spec, Options{Parallelism: 1, Ctx: obs.With(context.Background(), root), Graphs: warm}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(art.String(), `"name":"graph.load"`) {
+		t.Fatal("warm run artifact missing graph.load span")
+	}
+	if strings.Contains(art.String(), `"name":"graph.build"`) {
+		t.Fatal("warm run artifact contains graph.build span")
 	}
 }

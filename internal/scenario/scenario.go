@@ -12,7 +12,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math/rand/v2"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"avgloc/internal/core"
+	"avgloc/internal/graphstore"
 	"avgloc/internal/obs"
 	"avgloc/internal/registry"
 	"avgloc/internal/seedmix"
@@ -140,15 +140,10 @@ func (s *Spec) Hash() (string, error) {
 	var b strings.Builder
 	b.WriteString("scenario/v3\n")
 	fmt.Fprintf(&b, "graph=%s\n", n.Graph)
-	keys := make([]string, 0, len(n.Params))
-	for k := range n.Params {
-		keys = append(keys, k)
-	}
-	// Sorted keys make the rendering independent of map iteration order.
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "param.%s=%s\n", k, strconv.FormatFloat(n.Params[k], 'g', -1, 64))
-	}
+	// Sorted "param.k=v" lines via the registry's canonical rendering — the
+	// same machinery graph-store keys hash through, and byte-identical to the
+	// inline loop it replaced, so existing cache entries keep their keys.
+	n.Params.AppendCanonical(&b)
 	fmt.Fprintf(&b, "alg=%s\n", n.Algorithm)
 	fmt.Fprintf(&b, "trials=%d\n", n.Trials)
 	if n.Sweep != nil {
@@ -234,13 +229,21 @@ type Options struct {
 	// nobody will read. Cancellation is row-granular — a row in flight
 	// finishes — and surfaces as ctx.Err(), never as a partial outcome.
 	Ctx context.Context
+	// Graphs is the content-addressed store rows fetch their graphs
+	// through; nil selects the process-wide graphstore.Shared(). Served
+	// graphs — memory hit, disk load, or fresh build — are exactly the
+	// generator's output for the row's seed stream, so the store never
+	// changes outcome bytes, cold or warm.
+	Graphs *graphstore.Store
 }
 
-// graphStream returns the PRNG that generates row i's graph: derived from
-// the master seed and the row index alone, so rows are independent of
-// execution order and equal (spec, seed) pairs always build equal graphs.
-func graphStream(seed uint64, row int) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, 0xA11CE5+uint64(row)*0x9E3779B97F4A7C15))
+// graphSeeds returns the PCG seed pair whose stream generates row i's
+// graph: derived from the master seed and the row index alone, so rows are
+// independent of execution order and equal (spec, seed) pairs always build
+// equal graphs. The pair is also the graph's identity in the graph store —
+// rand.New(rand.NewPCG(s1, s2)) is exactly the stream the family consumes.
+func graphSeeds(seed uint64, row int) (uint64, uint64) {
+	return seed, 0xA11CE5 + uint64(row)*0x9E3779B97F4A7C15
 }
 
 // rowSeedDomain separates per-row measurement seeds from the per-trial
@@ -335,13 +338,13 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	fam, err := registry.FindGraph(n.Graph)
-	if err != nil {
-		return nil, err
-	}
 	entry, err := registry.FindAlgorithm(n.Algorithm)
 	if err != nil {
 		return nil, err
+	}
+	graphs := opt.Graphs
+	if graphs == nil {
+		graphs = graphstore.Shared()
 	}
 	rowParams := rowParamsOf(n)
 	rows := make([]Row, len(rowParams))
@@ -355,10 +358,11 @@ func Run(s *Spec, opt Options) (*Outcome, error) {
 			return opt.Ctx.Err()
 		}
 		rowSpan := runSpan.Span("scenario.row", obs.A("row", i), obs.A("parallelism", measurePar))
-		// Each row builds its own graph from a row-derived generator
-		// stream, so the graph is identical at every parallelism level and
-		// at most rowWorkers graphs are live at once.
-		g, err := fam.Build(rowParams[i], graphStream(n.Seed, i))
+		// Each row fetches its graph from the store under its row-derived
+		// seed pair, so the graph is identical at every parallelism level
+		// and rows across specs, batches and campaigns share one build.
+		s1, s2 := graphSeeds(n.Seed, i)
+		g, err := graphs.Get(obs.With(opt.Ctx, rowSpan), n.Graph, rowParams[i], s1, s2)
 		if err != nil {
 			err = fmt.Errorf("scenario: row %d: %w", i, err)
 			rowSpan.End(obs.A("error", err.Error()))
@@ -417,13 +421,34 @@ type Chunk struct {
 	Trials  []core.TrialOutcome `json:"trials"`
 }
 
-// RunChunk executes trials [lo, hi) of sweep row `row` of the scenario.
-// The row's graph is rebuilt from the row-derived generator stream and the
+// ChunkOptions configures RunChunkOpts.
+type ChunkOptions struct {
+	// Parallelism fans the chunk's trials out locally
+	// (outcome-indistinguishable from sequential).
+	Parallelism int
+	// Graphs is the store the chunk's graph is fetched through; nil selects
+	// graphstore.Shared(). A fleet worker passes its persistent store here,
+	// so a 64-chunk row builds its graph once per process, not 64 times.
+	Graphs *graphstore.Store
+	// Ctx carries the trace span parent for graph.build / graph.load spans
+	// (obs.FromCtx); a nil Ctx just disables them.
+	Ctx context.Context
+}
+
+// RunChunk executes trials [lo, hi) of sweep row `row` of the scenario with
+// default options (shared graph store, no tracing).
+func RunChunk(s *Spec, row, lo, hi, parallelism int) (*Chunk, error) {
+	return RunChunkOpts(s, row, lo, hi, ChunkOptions{Parallelism: parallelism})
+}
+
+// RunChunkOpts executes trials [lo, hi) of sweep row `row` of the scenario.
+// The row's graph is fetched from the graph store under the row-derived
+// seed pair (built from the generator stream on a cold store) and the
 // trials use the same absolute-index seed derivations as Run, so a chunk's
 // outcomes are a pure function of (normalized spec, seed, row, trial) —
-// independent of which process runs it. parallelism fans the chunk's
-// trials out locally (outcome-indistinguishable from sequential).
-func RunChunk(s *Spec, row, lo, hi, parallelism int) (*Chunk, error) {
+// independent of which process runs it, and of whether the store served
+// the graph from memory, disk, or a fresh build.
+func RunChunkOpts(s *Spec, row, lo, hi int, opt ChunkOptions) (*Chunk, error) {
 	n, err := s.Normalize()
 	if err != nil {
 		return nil, err
@@ -435,22 +460,23 @@ func RunChunk(s *Spec, row, lo, hi, parallelism int) (*Chunk, error) {
 	if lo < 0 || hi <= lo || hi > n.Trials {
 		return nil, fmt.Errorf("scenario: chunk trials [%d, %d) out of range [0, %d)", lo, hi, n.Trials)
 	}
-	fam, err := registry.FindGraph(n.Graph)
-	if err != nil {
-		return nil, err
-	}
 	entry, err := registry.FindAlgorithm(n.Algorithm)
 	if err != nil {
 		return nil, err
 	}
-	g, err := fam.Build(rowParams[row], graphStream(n.Seed, row))
+	graphs := opt.Graphs
+	if graphs == nil {
+		graphs = graphstore.Shared()
+	}
+	s1, s2 := graphSeeds(n.Seed, row)
+	g, err := graphs.Get(opt.Ctx, n.Graph, rowParams[row], s1, s2)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: row %d: %w", row, err)
 	}
 	runner, problem := entry.New()
 	outs, err := core.MeasureRange(g, problem, runner, core.MeasureOptions{
 		Seed:        rowSeed(n.Seed, row),
-		Parallelism: parallelism,
+		Parallelism: opt.Parallelism,
 	}, lo, hi)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: row %d (%s on %s): %w", row, n.Algorithm, g, err)
