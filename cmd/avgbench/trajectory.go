@@ -150,10 +150,17 @@ func checkTrajectory(f *benchFile, maxWallRatio, maxAllocRatio float64) []string
 }
 
 // runCheck is the -check mode: load the trajectory, gate the newest block
-// against its predecessor, and fail loudly on any regression.
+// against its predecessor, and fail loudly on any regression. A missing
+// file or a trajectory without a predecessor is not a failure: the gate
+// needs two blocks to compare, and a fresh repo legitimately has fewer —
+// it reports "no prior block" and passes.
 func runCheck(path string, maxWallRatio, maxAllocRatio float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "avgbench: %s: no prior block (file missing), perf gate skipped\n", path)
+			return nil
+		}
 		return err
 	}
 	f, err := loadBench(data)
@@ -161,7 +168,7 @@ func runCheck(path string, maxWallRatio, maxAllocRatio float64) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	if len(f.Trajectory) < 2 {
-		fmt.Fprintf(os.Stderr, "avgbench: %s has %d block(s), nothing to compare\n", path, len(f.Trajectory))
+		fmt.Fprintf(os.Stderr, "avgbench: %s: no prior block (%d block(s)), perf gate skipped\n", path, len(f.Trajectory))
 		return nil
 	}
 	bad := checkTrajectory(f, maxWallRatio, maxAllocRatio)

@@ -200,3 +200,48 @@ func TestRunCheckSyntheticRegression(t *testing.T) {
 		t.Fatal("synthetic regression passed the gate")
 	}
 }
+
+// TestRunCheckNoPriorBlock: the perf gate passes — with a "no prior
+// block" notice, not an error — when the trajectory file is missing,
+// empty, or holds a single block. A fresh repo has nothing to compare.
+func TestRunCheckNoPriorBlock(t *testing.T) {
+	dir := t.TempDir()
+
+	if err := runCheck(filepath.Join(dir, "absent.json"), 0, 1.25); err != nil {
+		t.Fatalf("missing trajectory file errored: %v", err)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	data, err := json.Marshal(trajOf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(empty, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck(empty, 0, 1.25); err != nil {
+		t.Fatalf("empty trajectory errored: %v", err)
+	}
+
+	single := filepath.Join(dir, "single.json")
+	data, err = json.Marshal(trajOf(benchBlock{Label: "only", Experiments: []expStats{{ID: "E1", WallNs: 1, Allocs: 1}}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(single, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck(single, 0, 1.25); err != nil {
+		t.Fatalf("single-block trajectory errored: %v", err)
+	}
+
+	// An unreadable-but-present file is still an error: only "nothing to
+	// compare" is benign, not corruption.
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCheck(garbled, 0, 1.25); err == nil {
+		t.Fatal("corrupt trajectory passed the gate")
+	}
+}

@@ -1,0 +1,148 @@
+// Command avgload is the open-loop traffic generator for avgserve: it
+// expands a declarative load plan (internal/load) into a seeded,
+// deterministic request schedule, drives /v1/run, /v1/batch and
+// /v1/campaigns at the planned arrival times, scrapes the server's
+// /v1/metrics on the same clock, and judges the plan's latency SLOs into
+// CONFIRMED/REJECTED/INCONCLUSIVE verdicts.
+//
+// Usage:
+//
+//	avgload -server http://127.0.0.1:8080 loadplans/quick.json
+//	avgload -server URL -out load.ndjson -strict loadplans/quick.json
+//	avgload -report load.ndjson
+//	avgload -print-schedule loadplans/quick.json
+//
+// A run prints the per-window table (latency quantiles, throughput,
+// errors, sheds, cache hits per phase × endpoint × window), the server
+// sample series, and the SLO verdict table; -out additionally streams the
+// full NDJSON artifact, which `avgload -report` reprints and `avgtrace`
+// renders as a per-phase latency waterfall. Because the schedule is a
+// pure function of (plan, seed), -seed replays the identical request
+// sequence against a different build or deployment.
+//
+// Exit status: 0 on success, 1 on execution errors; with -strict also 1
+// when any SLO is REJECTED or INCONCLUSIVE (for CI gates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"avgloc/internal/load"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avgload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "http://127.0.0.1:8080", "avgserve base URL")
+	out := flag.String("out", "", "write the NDJSON load artifact here")
+	seed := flag.Uint64("seed", 0, "override the plan's seed (0 = use the plan's)")
+	strict := flag.Bool("strict", false, "exit non-zero when any SLO is REJECTED or INCONCLUSIVE")
+	report := flag.String("report", "", "render an existing load artifact instead of running")
+	printSchedule := flag.Bool("print-schedule", false, "expand and summarize the request schedule without sending anything")
+	maxInFlight := flag.Int("max-in-flight", 256, "bound on concurrent requests (delays past the bound count against latency)")
+	flag.Parse()
+
+	if *report != "" {
+		f, err := os.Open(*report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		art, err := load.ReadArtifact(f)
+		if err != nil {
+			return err
+		}
+		fmt.Print(load.RenderReport(art))
+		return strictExit(*strict, art)
+	}
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: avgload [flags] plan.json (or avgload -report artifact.ndjson)")
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	plan, err := load.Parse(data)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		plan.Seed = *seed
+	}
+
+	if *printSchedule {
+		return dumpSchedule(plan)
+	}
+
+	var w io.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	art, err := load.Run(plan, load.Options{
+		BaseURL:     *server,
+		Out:         w,
+		MaxInFlight: *maxInFlight,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(load.RenderReport(art))
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "artifact: %s\n", *out)
+	}
+	return strictExit(*strict, art)
+}
+
+// strictExit enforces the -strict contract, matching avgcampaign: any
+// REJECTED or INCONCLUSIVE verdict fails the run.
+func strictExit(strict bool, art *load.Artifact) error {
+	if !strict || art.Report == nil {
+		return nil
+	}
+	if n := art.Report.Rejected + art.Report.Inconclusive; n > 0 {
+		return fmt.Errorf("strict: %d of %d SLOs not CONFIRMED", n, len(art.SLOs))
+	}
+	return nil
+}
+
+// dumpSchedule prints the expanded schedule head plus totals — the
+// fastest way to see what a (plan, seed) pair will replay.
+func dumpSchedule(p *load.Plan) error {
+	reqs, err := p.Schedule()
+	if err != nil {
+		return err
+	}
+	counts := map[string]int{}
+	fresh := 0
+	for _, r := range reqs {
+		counts[r.Endpoint]++
+		fresh += r.Fresh
+	}
+	const head = 20
+	for i, r := range reqs {
+		if i == head {
+			fmt.Printf("... %d more\n", len(reqs)-head)
+			break
+		}
+		fmt.Printf("%5d  +%.3fs  %-8s  phase=%s  specs=%d fresh=%d\n",
+			r.Index, float64(r.AtUS)/1e6, r.Endpoint, p.Phases[r.Phase].Name, len(r.Specs), r.Fresh)
+	}
+	fmt.Printf("total %d requests over %.1fs (seed %d): run=%d batch=%d campaign=%d, fresh specs %d\n",
+		len(reqs), float64(p.TotalDurationUS())/1e6, p.Seed,
+		counts[load.EndpointRun], counts[load.EndpointBatch], counts[load.EndpointCampaign], fresh)
+	return nil
+}

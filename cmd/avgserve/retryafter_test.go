@@ -28,3 +28,71 @@ func TestComputeRetryAfter(t *testing.T) {
 		}
 	}
 }
+
+// TestRetryAfterOverloadCycle drives the queue-depth × EWMA formula
+// through a sustained overload and drain, the way a live server would see
+// it: slow runs fold into the EWMA while the queue deepens (ramp-up), then
+// fast runs pull the EWMA back down while the queue empties (drain). The
+// hint must rise monotonically to the 30s ceiling on the way up, hold the
+// clamp under sustained overload, and fall back to the 1s floor once
+// drained — never leaving [1, 30] at any step.
+func TestRetryAfterOverloadCycle(t *testing.T) {
+	s := &server{workers: 2}
+	ewma := func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.ewmaRunSec
+	}
+
+	// Before any observation the hint is the optimistic floor, whatever
+	// the depth: the server has no drain-rate estimate yet.
+	if got := computeRetryAfter(500, s.workers, ewma()); got != 1 {
+		t.Fatalf("pre-observation hint %d, want 1", got)
+	}
+
+	// Ramp-up: 2s runs complete while the queue grows 10 → 100. The hint
+	// must never shrink while the queue only deepens, and must reach the
+	// 30s clamp well before the deepest point.
+	prev := 0
+	clamped := false
+	for depth := 10; depth <= 100; depth += 10 {
+		s.noteRunSeconds(2.0)
+		got := computeRetryAfter(depth, s.workers, ewma())
+		if got < 1 || got > 30 {
+			t.Fatalf("ramp-up depth %d: hint %d outside [1, 30]", depth, got)
+		}
+		if got < prev {
+			t.Fatalf("ramp-up depth %d: hint fell %d → %d while queue deepened", depth, prev, got)
+		}
+		prev = got
+		if got == 30 {
+			clamped = true
+		}
+	}
+	if !clamped {
+		t.Fatal("sustained overload never reached the 30s clamp")
+	}
+	// 100 queued 2s runs over 2 workers ≈ 100s of drain: the clamp, not
+	// the raw estimate, is what the client sees.
+	if got := computeRetryAfter(100, s.workers, ewma()); got != 30 {
+		t.Fatalf("deep-queue hint %d, want clamp 30", got)
+	}
+
+	// Drain: 10ms runs pull the EWMA down while the queue empties. The
+	// hint must fall back to the floor and stay in range at every step.
+	for depth := 100; depth >= 0; depth -= 10 {
+		s.noteRunSeconds(0.01)
+		got := computeRetryAfter(depth, s.workers, ewma())
+		if got < 1 || got > 30 {
+			t.Fatalf("drain depth %d: hint %d outside [1, 30]", depth, got)
+		}
+	}
+	if got := computeRetryAfter(0, s.workers, ewma()); got != 1 {
+		t.Fatalf("drained hint %d, want floor 1", got)
+	}
+	// Even a still-deep queue of now-fast runs floors at 1s, not 0: the
+	// hint is a positive integer by contract.
+	if got := computeRetryAfter(1, s.workers, 0.001); got != 1 {
+		t.Fatalf("fast-run hint %d, want floor 1", got)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"avgloc/internal/load"
+)
+
+// artifactType probes the first NDJSON line's type field, dispatching
+// between trace artifacts (internal/obs) and load artifacts
+// (internal/load) — both share the typed-header convention.
+func artifactType(data []byte) string {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if json.Unmarshal(line, &probe) != nil {
+		return ""
+	}
+	return probe.Type
+}
+
+// renderLoad prints a load artifact: the per-phase latency waterfall —
+// window p99 bars per endpoint, so the load shape and the latency
+// response read together — followed by the SLO verdicts.
+func renderLoad(data []byte) error {
+	art, err := load.ReadArtifact(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	fmt.Print(load.RenderWaterfall(art))
+	return nil
+}

@@ -5,15 +5,21 @@
 // requeues, completions), and the critical path. A chaos soak or fleet
 // campaign is debuggable from its artifact alone — no live process needed.
 //
+// It also reads load artifacts (NDJSON written by avgload): for those it
+// prints the per-phase latency waterfall — window p99 bars per endpoint —
+// and the SLO verdict table.
+//
 // Usage:
 //
 //	avgtrace run.trace.ndjson
 //	avgtrace -waterfall=false -chunks=false run.trace.ndjson   # summary only
+//	avgtrace load.ndjson                                       # load artifact
 //	cat run.trace.ndjson | avgtrace -
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,7 +50,21 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	tr, err := readTrace(in)
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avgtrace:", err)
+		os.Exit(1)
+	}
+	// Load artifacts (internal/load) share the NDJSON typed-header
+	// convention; dispatch on the header type so one reader covers both.
+	if artifactType(data) == "load" {
+		if err := renderLoad(data); err != nil {
+			fmt.Fprintln(os.Stderr, "avgtrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tr, err := readTrace(bytes.NewReader(data))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avgtrace:", err)
 		os.Exit(1)

@@ -215,9 +215,11 @@ func severity(v Verdict) int {
 	}
 }
 
-// worse returns the more severe of two verdicts, for hypotheses that carry
-// both a fit claim and a comparison claim (the conjunction must hold).
-func worse(a, b Verdict) Verdict {
+// Worse returns the more severe of two verdicts, for claims that compose
+// as conjunctions: a hypothesis carrying both a fit claim and a comparison
+// claim, or a load plan folding per-SLO verdicts (internal/load) into a
+// run verdict. CONFIRMED < INCONCLUSIVE < REJECTED.
+func Worse(a, b Verdict) Verdict {
 	if severity(b) > severity(a) {
 		return b
 	}
@@ -370,12 +372,12 @@ func evalHypothesis(h *Hypothesis, run *ScenarioRun, byName map[string]*Scenario
 	var details []string
 	if h.Expect != "" {
 		v, d, f := evalExpect(h, run.Outcome)
-		verdict, res.Fit = worse(verdict, v), f
+		verdict, res.Fit = Worse(verdict, v), f
 		details = append(details, d)
 	}
 	if h.CompareTo != "" {
 		v, d := evalCompare(h, run.Outcome, byName[h.CompareTo])
-		verdict = worse(verdict, v)
+		verdict = Worse(verdict, v)
 		details = append(details, d)
 	}
 	res.Verdict, res.Detail = verdict, strings.Join(details, "; ")

@@ -535,4 +535,9 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	r.CounterFunc("avg_graphstore_evictions_total", "In-memory LRU evictions.", s.evictions.Load)
 	r.CounterFunc("avg_graphstore_quarantined_total", "Disk artifacts that failed verification and were quarantined.", s.quarantined.Load)
 	r.GaugeFunc("avg_graphstore_entries", "Graphs currently resident in memory.", func() float64 { return float64(s.Len()) })
+	r.GaugeFunc("avg_graphstore_bytes", "Estimated bytes of graphs resident in memory (the LRU budget's fill level).", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.curBytes)
+	})
 }

@@ -1,0 +1,72 @@
+package graphstore
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"avgloc/internal/obs"
+	"avgloc/internal/registry"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden exposition file")
+
+// TestRegisterMetricsGolden pins the store's Prometheus exposition —
+// names, help strings, types, and the values a deterministic traffic
+// pattern produces, including the avg_graphstore_bytes fill gauge and the
+// eviction counter. Everything the golden file shows is a pure function
+// of the Get sequence below: same graphs, same seeds, same CSR sizes.
+func TestRegisterMetricsGolden(t *testing.T) {
+	// A 1-byte budget forces an eviction on every insert beyond the first
+	// (the LRU always retains one entry), so the eviction counter and the
+	// bytes gauge both move deterministically.
+	s, err := New(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx(), "tree", registry.Values{"n": 128}, 7, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx(), "tree", registry.Values{"n": 128}, 7, 9); err != nil {
+		t.Fatal(err) // hit: still resident
+	}
+	if _, err := s.Get(ctx(), "cycle", registry.Values{"n": 64}, 3, 4); err != nil {
+		t.Fatal(err) // build: evicts the tree, cycle stays resident
+	}
+
+	r := obs.NewRegistry()
+	s.RegisterMetrics(r)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("traffic pattern drifted: %+v", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("bytes gauge reads %d, want positive", st.Bytes)
+	}
+	if !strings.Contains(got, "avg_graphstore_bytes") || !strings.Contains(got, "avg_graphstore_evictions_total 1") {
+		t.Fatalf("exposition missing pressure metrics:\n%s", got)
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from %s (rerun with -update if intended):\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}

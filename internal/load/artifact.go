@@ -1,0 +1,275 @@
+package load
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"avgloc/internal/campaign"
+	"avgloc/internal/measure"
+)
+
+// The load artifact is NDJSON with the flight-recorder conventions from
+// internal/obs: a typed header line carrying the wall-clock start in
+// RFC3339, then one JSON object per line with microsecond offsets
+// (`at_us`) from that start. Line types, in the order a run emits them:
+//
+//	{"type":"load", ...}    header: plan echo, seed, start, base URL
+//	{"type":"req", ...}     one per request, as responses complete
+//	{"type":"sample", ...}  server /v1/metrics scrape on the same clock
+//	{"type":"window", ...}  per (phase, endpoint, window) rollup
+//	{"type":"slo", ...}     one per SLO, with measured value and verdict
+//	{"type":"report", ...}  trailer: folded verdict and run totals
+//
+// Because client latencies and server samples share one clock, a latency
+// spike in a window can be read against the queue depth and breaker state
+// the server reported in that same window.
+
+// Header is the artifact's first line.
+type Header struct {
+	Type    string `json:"type"` // "load"
+	Name    string `json:"name,omitempty"`
+	Start   string `json:"start"` // RFC3339Nano wall clock of offset 0
+	Seed    uint64 `json:"seed"`
+	BaseURL string `json:"base_url,omitempty"`
+	// WindowUS is the rollup window width.
+	WindowUS int64       `json:"window_us"`
+	Phases   []PhaseInfo `json:"phases"`
+	Plan     *Plan       `json:"plan,omitempty"`
+}
+
+// PhaseInfo places one phase on the artifact clock.
+type PhaseInfo struct {
+	Name    string  `json:"name"`
+	Arrival string  `json:"arrival"`
+	Rate    float64 `json:"rate"`
+	AtUS    int64   `json:"at_us"`
+	DurUS   int64   `json:"dur_us"`
+}
+
+// ReqLine records one request outcome. AtUS is the *scheduled* send
+// offset; LatUS is measured from that schedule point (open loop), so send
+// backlog counts against latency instead of being silently omitted.
+type ReqLine struct {
+	Type       string `json:"type"` // "req"
+	I          int    `json:"i"`
+	Phase      string `json:"phase"`
+	Endpoint   string `json:"ep"`
+	AtUS       int64  `json:"at_us"`
+	LatUS      int64  `json:"lat_us"`
+	Status     int    `json:"status"`
+	Cached     bool   `json:"cached,omitempty"`
+	RetryAfter int    `json:"retry_after,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+// OK reports whether the request succeeded (2xx and no transport error).
+func (r *ReqLine) OK() bool { return r.Err == "" && r.Status >= 200 && r.Status < 300 }
+
+// Shed reports whether the server shed the request (503 + Retry-After).
+func (r *ReqLine) Shed() bool { return r.Status == 503 }
+
+// SampleLine is one scrape of the server's /v1/metrics, reduced to the
+// load-relevant signals and stamped onto the artifact clock.
+type SampleLine struct {
+	Type          string `json:"type"` // "sample"
+	AtUS          int64  `json:"at_us"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCap      int    `json:"queue_cap"`
+	InFlight      int    `json:"in_flight"`
+	RunsCompleted int64  `json:"runs_completed"`
+	RunsCached    int64  `json:"runs_cached"`
+	RetryAfterSec int    `json:"retry_after_seconds"`
+	Breaker       string `json:"breaker,omitempty"`
+	GraphHits     int64  `json:"graph_hits"`
+	GraphBuilds   int64  `json:"graph_builds"`
+	GraphBytes    int64  `json:"graph_bytes"`
+	Err           string `json:"err,omitempty"`
+}
+
+// WindowLine is the rollup of one (phase, endpoint) pair over one time
+// window: request counters plus exact latency quantiles (milliseconds)
+// over the OK requests scheduled in that window.
+type WindowLine struct {
+	Type     string `json:"type"` // "window"
+	Phase    string `json:"phase"`
+	Endpoint string `json:"ep"`
+	W        int64  `json:"w"`
+	AtUS     int64  `json:"at_us"`
+	Count    int    `json:"count"`
+	OK       int    `json:"ok"`
+	Errors   int    `json:"errors"`
+	Shed     int    `json:"shed"`
+	Cached   int    `json:"cached"`
+	// RPS is OK-request throughput over the window width.
+	RPS float64 `json:"rps"`
+	// LatMS holds exact nearest-rank latency quantiles of the window's OK
+	// requests, in milliseconds.
+	LatMS         measure.Quantiles `json:"lat_ms"`
+	MeanMS        float64           `json:"mean_ms"`
+	RetryAfterMax int               `json:"retry_after_max,omitempty"`
+}
+
+// SLOLine is one evaluated SLO.
+type SLOLine struct {
+	Type     string           `json:"type"` // "slo"
+	Name     string           `json:"name,omitempty"`
+	Phase    string           `json:"phase,omitempty"`
+	Endpoint string           `json:"ep,omitempty"`
+	Metric   string           `json:"metric"`
+	Op       string           `json:"op"`
+	Value    float64          `json:"value"`
+	Measured float64          `json:"measured"`
+	Count    int              `json:"count"`
+	Verdict  campaign.Verdict `json:"verdict"`
+	Detail   string           `json:"detail,omitempty"`
+}
+
+// ReportLine is the artifact trailer: the run verdict (the campaign.Worse
+// fold over every SLO verdict) and whole-run totals.
+type ReportLine struct {
+	Type         string           `json:"type"` // "report"
+	Verdict      campaign.Verdict `json:"verdict"`
+	Confirmed    int              `json:"confirmed"`
+	Rejected     int              `json:"rejected"`
+	Inconclusive int              `json:"inconclusive"`
+	Requests     int              `json:"requests"`
+	OK           int              `json:"ok"`
+	Errors       int              `json:"errors"`
+	Shed         int              `json:"shed"`
+	Cached       int              `json:"cached"`
+	DurationUS   int64            `json:"duration_us"`
+}
+
+// Writer emits artifact lines, one JSON object per line, flushing each
+// line so a crash mid-run leaves a readable prefix (the obs.Tracer
+// contract). Safe for concurrent use.
+type Writer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w and writes the header line.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	h.Type = "load"
+	if h.Start == "" {
+		h.Start = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	aw := &Writer{w: bufio.NewWriter(w)}
+	if err := aw.Emit(h); err != nil {
+		return nil, err
+	}
+	return aw, nil
+}
+
+// Emit writes one line. The first error sticks and suppresses later writes.
+func (w *Writer) Emit(line any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	b, err := json.Marshal(line)
+	if err == nil {
+		_, err = w.w.Write(append(b, '\n'))
+	}
+	if err == nil {
+		err = w.w.Flush()
+	}
+	if err != nil {
+		w.err = fmt.Errorf("load: writing artifact: %w", err)
+	}
+	return w.err
+}
+
+// Artifact is a fully parsed load artifact.
+type Artifact struct {
+	Header   Header
+	Requests []ReqLine
+	Samples  []SampleLine
+	Windows  []WindowLine
+	SLOs     []SLOLine
+	Report   *ReportLine
+}
+
+// StartTime parses the header's wall-clock start.
+func (a *Artifact) StartTime() (time.Time, error) {
+	return time.Parse(time.RFC3339Nano, a.Header.Start)
+}
+
+// ReadArtifact parses a load artifact. Request lines land in completion
+// order on disk; they are returned sorted by request index. Unknown line
+// types are skipped so older readers survive newer writers.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var a Artifact
+	first := true
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("load: artifact line is not JSON: %w", err)
+		}
+		if first {
+			if probe.Type != "load" {
+				return nil, fmt.Errorf("load: artifact has no load header line (got type %q)", probe.Type)
+			}
+			if err := json.Unmarshal(raw, &a.Header); err != nil {
+				return nil, fmt.Errorf("load: parsing header: %w", err)
+			}
+			first = false
+			continue
+		}
+		switch probe.Type {
+		case "req":
+			var l ReqLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("load: parsing req line: %w", err)
+			}
+			a.Requests = append(a.Requests, l)
+		case "sample":
+			var l SampleLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("load: parsing sample line: %w", err)
+			}
+			a.Samples = append(a.Samples, l)
+		case "window":
+			var l WindowLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("load: parsing window line: %w", err)
+			}
+			a.Windows = append(a.Windows, l)
+		case "slo":
+			var l SLOLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("load: parsing slo line: %w", err)
+			}
+			a.SLOs = append(a.SLOs, l)
+		case "report":
+			var l ReportLine
+			if err := json.Unmarshal(raw, &l); err != nil {
+				return nil, fmt.Errorf("load: parsing report line: %w", err)
+			}
+			a.Report = &l
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load: reading artifact: %w", err)
+	}
+	if first {
+		return nil, fmt.Errorf("load: artifact is empty")
+	}
+	sort.Slice(a.Requests, func(i, j int) bool { return a.Requests[i].I < a.Requests[j].I })
+	return &a, nil
+}

@@ -1,0 +1,37 @@
+// Package load is the open-loop traffic generator behind cmd/avgload: it
+// turns a declarative load plan into a deterministic request schedule,
+// drives avgserve's /v1/run, /v1/batch and /v1/campaigns endpoints at the
+// planned arrival times, and folds what it observed into latency-SLO
+// verdicts using the campaign vocabulary.
+//
+// # Open loop
+//
+// The generator never waits for a response before sending the next
+// request: arrival times come from the plan's seeded arrival processes
+// (Poisson, bursty on/off, diurnal ramp), and latency is measured from
+// the *scheduled* send time, not the actual one. A server that stalls
+// therefore accumulates visible latency instead of silently slowing the
+// generator down — the coordinated-omission failure mode of closed-loop
+// benchmarks.
+//
+// # Determinism
+//
+// Every random draw — arrival offsets, endpoint and spec-template
+// choices, the repeat-vs-fresh cache coin, fresh variant seeds — comes
+// from counter-derived seedmix streams, so Schedule is a pure function of
+// (plan, seed): the same plan file with the same seed replays the
+// identical request sequence. The cache_hit_ratio knob mixes repeated
+// (spec, seed) pairs — which hit avgserve's result store — with fresh
+// variant seeds that must execute.
+//
+// # Artifact
+//
+// A run streams one NDJSON artifact (flight-recorder conventions: typed
+// header with RFC3339 start, microsecond at_us offsets) interleaving
+// per-request outcomes, per-window rollups with exact latency quantiles
+// (obs.Windowed over measure.QuantilesOf), and server-side /v1/metrics
+// samples scraped on the same clock — client latency and server queue
+// depth line up window by window. The plan's SLO blocks are evaluated
+// into CONFIRMED/REJECTED/INCONCLUSIVE verdicts (campaign.Verdict, folded
+// with campaign.Worse) and written into the same artifact.
+package load

@@ -1,0 +1,492 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"avgloc/internal/scenario"
+	"avgloc/internal/seedmix"
+)
+
+// Endpoint names a plan may drive. They map onto avgserve's POST surface:
+// run → /v1/run, batch → /v1/batch, campaign → /v1/campaigns.
+const (
+	EndpointRun      = "run"
+	EndpointBatch    = "batch"
+	EndpointCampaign = "campaign"
+)
+
+// Arrival process names.
+const (
+	ArrivalPoisson = "poisson" // homogeneous Poisson at Rate req/s
+	ArrivalBursty  = "bursty"  // on/off: Poisson at Rate during OnMS, silent during OffMS
+	ArrivalRamp    = "ramp"    // diurnal half-sine: rate(t) = Rate·sin(πt/D), via thinning
+)
+
+// Bounds on what one plan may schedule. The generator is open-loop — it
+// will not slow down under server pushback — so the schedule size must be
+// known finite before a single request is sent.
+const (
+	MaxRequests     = 250_000
+	MaxPhases       = 32
+	MaxSpecMix      = 32
+	MaxGroupSize    = 8 // specs per batch / scenarios per campaign request
+	MaxSLOs         = 64
+	MaxPhaseMS      = 3_600_000 // one hour per phase
+	DefaultWindowMS = 1000
+)
+
+// SpecMix is one weighted entry of the plan's scenario-spec distribution.
+// The Spec is a template: its Seed is replaced per request by the
+// generator's variant-seed stream (fresh seeds force cache misses, repeated
+// seeds produce hits), and its Name is cleared like the scenario layer does.
+type SpecMix struct {
+	Name   string        `json:"name,omitempty"`
+	Weight float64       `json:"weight,omitempty"` // default 1
+	Spec   scenario.Spec `json:"spec"`
+}
+
+// Phase is one segment of the load shape: an arrival process at a rate for
+// a duration. Phases run back to back in plan order.
+type Phase struct {
+	Name    string `json:"name"`
+	Arrival string `json:"arrival"` // poisson | bursty | ramp
+	// Rate is the arrival intensity in requests/second: the constant rate
+	// for poisson, the on-period rate for bursty, the peak rate for ramp.
+	Rate       float64 `json:"rate"`
+	DurationMS int     `json:"duration_ms"`
+	// OnMS/OffMS shape the bursty envelope (ignored otherwise).
+	OnMS  int `json:"on_ms,omitempty"`
+	OffMS int `json:"off_ms,omitempty"`
+}
+
+// SLO is one testable claim about the run: a metric over a scope (phase ×
+// endpoint), compared against a threshold. Verdicts reuse the campaign
+// vocabulary: CONFIRMED when the comparison holds, REJECTED when it fails,
+// INCONCLUSIVE when the scope produced too few observations to judge.
+type SLO struct {
+	Name string `json:"name,omitempty"`
+	// Phase restricts the scope to one phase ("" = the whole run).
+	Phase string `json:"phase,omitempty"`
+	// Endpoint restricts request metrics to one endpoint ("" = all).
+	// Sample metrics (queue_depth_*, breaker_open_ratio) are server-wide
+	// and reject an endpoint filter.
+	Endpoint string `json:"endpoint,omitempty"`
+	// Metric is one of the request metrics p50_ms, p90_ms, p99_ms, max_ms,
+	// mean_ms, error_rate, shed_rate, cache_hit_rate, throughput_rps,
+	// retry_after_max — or the server-sample metrics queue_depth_p90,
+	// queue_depth_max, breaker_open_ratio.
+	Metric string `json:"metric"`
+	// Op compares measured against Value: lt, le, gt, ge (default lt).
+	Op    string  `json:"op,omitempty"`
+	Value float64 `json:"value"`
+	// MinCount is the least number of observations (requests, or metric
+	// samples) a conclusive verdict needs; below it the SLO is
+	// INCONCLUSIVE. Defaults: 10 for request metrics, 3 for sample metrics.
+	MinCount int `json:"min_count,omitempty"`
+}
+
+// Plan is the declarative load-plan document.
+type Plan struct {
+	Name string `json:"name,omitempty"`
+	// Seed drives every random draw of the schedule — arrival times,
+	// endpoint and spec choices, cache coins, variant seeds — through
+	// counter-derived streams (internal/seedmix), so one (plan, seed) pair
+	// always produces the identical request sequence.
+	Seed uint64 `json:"seed,omitempty"`
+	// WindowMS is the recording window width (default 1000): latency
+	// histograms, throughput and error counts bucket into these windows,
+	// and server metric samples default to the same cadence.
+	WindowMS int `json:"window_ms,omitempty"`
+	// CacheHitRatio in [0, 1) is the target fraction of spec draws that
+	// reuse an already-issued (spec, seed) pair instead of a fresh variant
+	// seed. Repeats hit avgserve's result store; fresh variants miss it.
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+	// Endpoints weights the driven endpoints (default {"run": 1}).
+	Endpoints map[string]float64 `json:"endpoints,omitempty"`
+	// BatchSize / CampaignSize are the specs per batch request and
+	// scenarios per campaign request (defaults 3 and 2, max MaxGroupSize).
+	BatchSize    int `json:"batch_size,omitempty"`
+	CampaignSize int `json:"campaign_size,omitempty"`
+
+	Specs  []SpecMix `json:"specs"`
+	Phases []Phase   `json:"phases"`
+	SLOs   []SLO     `json:"slos,omitempty"`
+}
+
+// Request is one scheduled call of the load run: where, when, and with
+// which specs. The schedule is a pure function of (plan, seed).
+type Request struct {
+	Index    int
+	Phase    int   // index into Plan.Phases
+	AtUS     int64 // scheduled send offset from run start
+	Endpoint string
+	// Specs carries the request payload: one spec for run, BatchSize for
+	// batch, CampaignSize for campaign. Seeds are already assigned.
+	Specs []scenario.Spec
+	// Fresh counts the specs above that were issued with a never-seen
+	// variant seed (the rest repeat earlier issues, targeting cache hits).
+	Fresh int
+}
+
+// Parse strictly decodes and validates a plan document.
+func Parse(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("load: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// requestMetrics and sampleMetrics name the SLO vocabulary.
+var requestMetrics = map[string]bool{
+	"p50_ms": true, "p90_ms": true, "p99_ms": true, "max_ms": true,
+	"mean_ms": true, "error_rate": true, "shed_rate": true,
+	"cache_hit_rate": true, "throughput_rps": true, "retry_after_max": true,
+}
+
+var sampleMetrics = map[string]bool{
+	"queue_depth_p90": true, "queue_depth_max": true, "breaker_open_ratio": true,
+}
+
+// Metrics lists every valid SLO metric name, request metrics first, for
+// error messages and docs.
+func Metrics() []string {
+	var out []string
+	for m := range requestMetrics {
+		out = append(out, m)
+	}
+	for m := range sampleMetrics {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks the plan: every spec template against the registry, the
+// phase envelope, endpoint weights, SLO scopes and metric names, and the
+// expected schedule size against MaxRequests.
+func (p *Plan) Validate() error {
+	if len(p.Specs) == 0 {
+		return fmt.Errorf("load: plan has no specs")
+	}
+	if len(p.Specs) > MaxSpecMix {
+		return fmt.Errorf("load: %d spec templates, maximum %d", len(p.Specs), MaxSpecMix)
+	}
+	for i := range p.Specs {
+		sm := &p.Specs[i]
+		if sm.Weight < 0 {
+			return fmt.Errorf("load: spec %d: negative weight %v", i, sm.Weight)
+		}
+		if _, err := sm.Spec.Normalize(); err != nil {
+			return fmt.Errorf("load: spec %d: %w", i, err)
+		}
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("load: plan has no phases")
+	}
+	if len(p.Phases) > MaxPhases {
+		return fmt.Errorf("load: %d phases, maximum %d", len(p.Phases), MaxPhases)
+	}
+	names := make(map[string]bool, len(p.Phases))
+	var expected float64
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		if ph.Name == "" {
+			return fmt.Errorf("load: phase %d has no name", i)
+		}
+		if names[ph.Name] {
+			return fmt.Errorf("load: duplicate phase name %q", ph.Name)
+		}
+		names[ph.Name] = true
+		switch ph.Arrival {
+		case ArrivalPoisson, ArrivalRamp:
+		case ArrivalBursty:
+			if ph.OnMS <= 0 {
+				return fmt.Errorf("load: phase %q: bursty arrival needs on_ms > 0", ph.Name)
+			}
+			if ph.OffMS < 0 {
+				return fmt.Errorf("load: phase %q: negative off_ms", ph.Name)
+			}
+		default:
+			return fmt.Errorf("load: phase %q: unknown arrival %q (poisson, bursty, ramp)", ph.Name, ph.Arrival)
+		}
+		if ph.Rate <= 0 {
+			return fmt.Errorf("load: phase %q: rate must be positive, got %v", ph.Name, ph.Rate)
+		}
+		if ph.DurationMS <= 0 {
+			return fmt.Errorf("load: phase %q: duration_ms must be positive, got %d", ph.Name, ph.DurationMS)
+		}
+		if ph.DurationMS > MaxPhaseMS {
+			return fmt.Errorf("load: phase %q: duration %dms above maximum %dms", ph.Name, ph.DurationMS, MaxPhaseMS)
+		}
+		expected += ph.Rate * float64(ph.DurationMS) / 1000
+	}
+	if expected > MaxRequests {
+		return fmt.Errorf("load: plan expects ~%.0f requests, maximum %d", expected, MaxRequests)
+	}
+	if p.CacheHitRatio < 0 || p.CacheHitRatio >= 1 {
+		return fmt.Errorf("load: cache_hit_ratio %v outside [0, 1)", p.CacheHitRatio)
+	}
+	if p.WindowMS < 0 {
+		return fmt.Errorf("load: negative window_ms %d", p.WindowMS)
+	}
+	for ep, w := range p.Endpoints {
+		switch ep {
+		case EndpointRun, EndpointBatch, EndpointCampaign:
+		default:
+			return fmt.Errorf("load: unknown endpoint %q (run, batch, campaign)", ep)
+		}
+		if w < 0 {
+			return fmt.Errorf("load: endpoint %q: negative weight %v", ep, w)
+		}
+	}
+	if p.BatchSize < 0 || p.BatchSize > MaxGroupSize {
+		return fmt.Errorf("load: batch_size %d outside [0, %d]", p.BatchSize, MaxGroupSize)
+	}
+	if p.CampaignSize < 0 || p.CampaignSize > MaxGroupSize {
+		return fmt.Errorf("load: campaign_size %d outside [0, %d]", p.CampaignSize, MaxGroupSize)
+	}
+	if len(p.SLOs) > MaxSLOs {
+		return fmt.Errorf("load: %d slos, maximum %d", len(p.SLOs), MaxSLOs)
+	}
+	for i := range p.SLOs {
+		s := &p.SLOs[i]
+		if s.Phase != "" && !names[s.Phase] {
+			return fmt.Errorf("load: slo %d (%s): unknown phase %q", i, s.Metric, s.Phase)
+		}
+		switch {
+		case requestMetrics[s.Metric]:
+			switch s.Endpoint {
+			case "", EndpointRun, EndpointBatch, EndpointCampaign:
+			default:
+				return fmt.Errorf("load: slo %d (%s): unknown endpoint %q", i, s.Metric, s.Endpoint)
+			}
+		case sampleMetrics[s.Metric]:
+			if s.Endpoint != "" {
+				return fmt.Errorf("load: slo %d (%s): server-sample metrics are endpoint-wide, drop endpoint %q", i, s.Metric, s.Endpoint)
+			}
+		default:
+			return fmt.Errorf("load: slo %d: unknown metric %q (one of %v)", i, s.Metric, Metrics())
+		}
+		switch s.Op {
+		case "", "lt", "le", "gt", "ge":
+		default:
+			return fmt.Errorf("load: slo %d (%s): unknown op %q (lt, le, gt, ge)", i, s.Metric, s.Op)
+		}
+		if s.MinCount < 0 {
+			return fmt.Errorf("load: slo %d (%s): negative min_count %d", i, s.Metric, s.MinCount)
+		}
+	}
+	return nil
+}
+
+// windowMS returns the effective recording window width.
+func (p *Plan) windowMS() int {
+	if p.WindowMS <= 0 {
+		return DefaultWindowMS
+	}
+	return p.WindowMS
+}
+
+// batchSize / campaignSize return the effective group sizes.
+func (p *Plan) batchSize() int {
+	if p.BatchSize <= 0 {
+		return 3
+	}
+	return p.BatchSize
+}
+
+func (p *Plan) campaignSize() int {
+	if p.CampaignSize <= 0 {
+		return 2
+	}
+	return p.CampaignSize
+}
+
+// endpointWeights returns the driven endpoints in deterministic order with
+// their weights. An empty map drives run only.
+func (p *Plan) endpointWeights() ([]string, []float64) {
+	if len(p.Endpoints) == 0 {
+		return []string{EndpointRun}, []float64{1}
+	}
+	eps := make([]string, 0, len(p.Endpoints))
+	for ep, w := range p.Endpoints {
+		if w > 0 {
+			eps = append(eps, ep)
+		}
+	}
+	sort.Strings(eps)
+	ws := make([]float64, len(eps))
+	for i, ep := range eps {
+		ws[i] = p.Endpoints[ep]
+	}
+	return eps, ws
+}
+
+// seedmix domains separating the schedule's independent random concerns.
+const (
+	domainArrival = 0x4C_44_41_52 // "LDAR": per-phase arrival-time streams
+	domainChoice  = 0x4C_44_43_48 // "LDCH": endpoint/spec/cache draws
+	domainVariant = 0x4C_44_53_50 // "LDSP": fresh spec variant seeds
+)
+
+// rngFor builds the i-th PCG stream of a domain.
+func rngFor(seed uint64, domain uint64, i int) *rand.Rand {
+	return rand.New(rand.NewPCG(
+		seedmix.Derive(seed, domain, 2*i),
+		seedmix.Derive(seed, domain, 2*i+1),
+	))
+}
+
+// pickWeighted draws an index proportionally to ws (all non-negative, at
+// least one positive — validated upstream).
+func pickWeighted(rng *rand.Rand, ws []float64) int {
+	var total float64
+	for _, w := range ws {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := rng.Float64() * total
+	for i, w := range ws {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(ws) - 1
+}
+
+// Schedule expands the plan into its full request sequence: arrival
+// offsets per phase from the phase's seeded arrival process, then — in
+// arrival order, from one seeded choice stream — the endpoint, the spec
+// template(s), and the repeat-vs-fresh cache coin per spec draw. The
+// result is a pure function of (plan, seed): scheduling twice yields the
+// identical sequence, which is what makes a load run replayable.
+func (p *Plan) Schedule() ([]Request, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	eps, epWeights := p.endpointWeights()
+	tmplWeights := make([]float64, len(p.Specs))
+	for i := range p.Specs {
+		w := p.Specs[i].Weight
+		if w == 0 {
+			w = 1
+		}
+		tmplWeights[i] = w
+	}
+
+	choices := rngFor(p.Seed, domainChoice, 0)
+	type issued struct {
+		template int
+		seed     uint64
+	}
+	var pool []issued
+	variant := 0
+	var reqs []Request
+	var phaseStartUS int64
+	for pi := range p.Phases {
+		ph := &p.Phases[pi]
+		arr := arrivalOffsets(ph, rngFor(p.Seed, domainArrival, pi))
+		for _, atUS := range arr {
+			ep := eps[pickWeighted(choices, epWeights)]
+			count := 1
+			switch ep {
+			case EndpointBatch:
+				count = p.batchSize()
+			case EndpointCampaign:
+				count = p.campaignSize()
+			}
+			specs := make([]scenario.Spec, count)
+			fresh := 0
+			for k := range specs {
+				if len(pool) > 0 && choices.Float64() < p.CacheHitRatio {
+					e := pool[choices.IntN(len(pool))]
+					specs[k] = p.Specs[e.template].Spec
+					specs[k].Name = ""
+					specs[k].Seed = e.seed
+					continue
+				}
+				ti := pickWeighted(choices, tmplWeights)
+				s := seedmix.Derive(p.Seed, domainVariant, variant)
+				variant++
+				specs[k] = p.Specs[ti].Spec
+				specs[k].Name = ""
+				specs[k].Seed = s
+				pool = append(pool, issued{ti, s})
+				fresh++
+			}
+			reqs = append(reqs, Request{
+				Index:    len(reqs),
+				Phase:    pi,
+				AtUS:     phaseStartUS + atUS,
+				Endpoint: ep,
+				Specs:    specs,
+				Fresh:    fresh,
+			})
+			if len(reqs) > MaxRequests {
+				return nil, fmt.Errorf("load: schedule exceeds %d requests", MaxRequests)
+			}
+		}
+		phaseStartUS += int64(ph.DurationMS) * 1000
+	}
+	return reqs, nil
+}
+
+// arrivalOffsets generates one phase's arrival times in microseconds from
+// the phase start, strictly increasing within [0, duration).
+func arrivalOffsets(ph *Phase, rng *rand.Rand) []int64 {
+	durSec := float64(ph.DurationMS) / 1000
+	var out []int64
+	switch ph.Arrival {
+	case ArrivalPoisson:
+		for t := rng.ExpFloat64() / ph.Rate; t < durSec; t += rng.ExpFloat64() / ph.Rate {
+			out = append(out, int64(t*1e6))
+		}
+	case ArrivalBursty:
+		on := float64(ph.OnMS) / 1000
+		period := on + float64(ph.OffMS)/1000
+		for start := 0.0; start < durSec; start += period {
+			end := math.Min(start+on, durSec)
+			for t := start + rng.ExpFloat64()/ph.Rate; t < end; t += rng.ExpFloat64() / ph.Rate {
+				out = append(out, int64(t*1e6))
+			}
+		}
+	case ArrivalRamp:
+		// Lewis–Shedler thinning of a peak-rate Poisson stream against the
+		// half-sine envelope rate(t) = Rate·sin(πt/D): quiet at the phase
+		// edges, peak load in the middle — one diurnal cycle.
+		for t := rng.ExpFloat64() / ph.Rate; t < durSec; t += rng.ExpFloat64() / ph.Rate {
+			if rng.Float64() <= math.Sin(math.Pi*t/durSec) {
+				out = append(out, int64(t*1e6))
+			}
+		}
+	}
+	return out
+}
+
+// PhaseStartUS returns the offset at which phase pi begins.
+func (p *Plan) PhaseStartUS(pi int) int64 {
+	var at int64
+	for i := 0; i < pi && i < len(p.Phases); i++ {
+		at += int64(p.Phases[i].DurationMS) * 1000
+	}
+	return at
+}
+
+// TotalDurationUS returns the planned wall-clock length of the run.
+func (p *Plan) TotalDurationUS() int64 {
+	return p.PhaseStartUS(len(p.Phases))
+}

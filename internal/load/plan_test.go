@@ -1,0 +1,264 @@
+package load
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"avgloc/internal/scenario"
+)
+
+func specMix() []SpecMix {
+	return []SpecMix{
+		{Name: "cycle", Spec: scenario.Spec{Graph: "cycle", Params: map[string]float64{"n": 64}, Algorithm: "mis/luby", Trials: 2}},
+		{Name: "regular", Weight: 2, Spec: scenario.Spec{Graph: "regular", Params: map[string]float64{"n": 64, "d": 4}, Algorithm: "mis/luby", Trials: 2}},
+	}
+}
+
+func testPlan() *Plan {
+	return &Plan{
+		Name:          "t",
+		Seed:          42,
+		CacheHitRatio: 0.5,
+		Endpoints:     map[string]float64{"run": 4, "batch": 1, "campaign": 1},
+		Specs:         specMix(),
+		Phases: []Phase{
+			{Name: "warm", Arrival: ArrivalPoisson, Rate: 200, DurationMS: 500},
+			{Name: "burst", Arrival: ArrivalBursty, Rate: 400, DurationMS: 400, OnMS: 100, OffMS: 100},
+			{Name: "ramp", Arrival: ArrivalRamp, Rate: 300, DurationMS: 600},
+		},
+	}
+}
+
+// TestScheduleDeterministic is the acceptance criterion: the same plan and
+// seed must produce the identical request sequence, and a different seed a
+// different one.
+func TestScheduleDeterministic(t *testing.T) {
+	p := testPlan()
+	a, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan + seed produced different schedules")
+	}
+
+	q := testPlan()
+	q.Seed = 43
+	c, err := q.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i].AtUS != c[i].AtUS || !reflect.DeepEqual(a[i].Specs, c[i].Specs) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	p := testPlan()
+	reqs, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64 = -1
+	counts := map[string]int{}
+	for i, r := range reqs {
+		if r.Index != i {
+			t.Fatalf("request %d has index %d", i, r.Index)
+		}
+		if r.AtUS < last {
+			t.Fatalf("request %d at %dus before predecessor at %dus", i, r.AtUS, last)
+		}
+		last = r.AtUS
+		if r.AtUS < 0 || r.AtUS >= p.TotalDurationUS() {
+			t.Fatalf("request %d at %dus outside run [0, %dus)", i, r.AtUS, p.TotalDurationUS())
+		}
+		counts[r.Endpoint]++
+		want := 1
+		switch r.Endpoint {
+		case EndpointBatch:
+			want = p.batchSize()
+		case EndpointCampaign:
+			want = p.campaignSize()
+		}
+		if len(r.Specs) != want {
+			t.Fatalf("request %d (%s) has %d specs, want %d", i, r.Endpoint, len(r.Specs), want)
+		}
+		for k, s := range r.Specs {
+			if s.Seed == 0 {
+				t.Fatalf("request %d spec %d has no assigned seed", i, k)
+			}
+		}
+	}
+	for _, ep := range []string{EndpointRun, EndpointBatch, EndpointCampaign} {
+		if counts[ep] == 0 {
+			t.Fatalf("no %s requests in %d-request schedule", ep, len(reqs))
+		}
+	}
+}
+
+// TestBurstyOffWindowsSilent checks the on/off envelope: no arrival may
+// land in an off window.
+func TestBurstyOffWindowsSilent(t *testing.T) {
+	p := &Plan{
+		Seed:  7,
+		Specs: specMix()[:1],
+		Phases: []Phase{
+			{Name: "b", Arrival: ArrivalBursty, Rate: 500, DurationMS: 1000, OnMS: 100, OffMS: 150},
+		},
+	}
+	reqs, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no arrivals")
+	}
+	const periodUS, onUS = 250_000, 100_000
+	for _, r := range reqs {
+		if r.AtUS%periodUS >= onUS {
+			t.Fatalf("arrival at %dus lands %dus into the period, past the %dus on-window", r.AtUS, r.AtUS%periodUS, onUS)
+		}
+	}
+}
+
+// TestRampMiddleHeavy checks the half-sine thinning: the middle third of a
+// ramp phase must see more arrivals than either outer third.
+func TestRampMiddleHeavy(t *testing.T) {
+	p := &Plan{
+		Seed:  11,
+		Specs: specMix()[:1],
+		Phases: []Phase{
+			{Name: "r", Arrival: ArrivalRamp, Rate: 300, DurationMS: 3000},
+		},
+	}
+	reqs, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := p.TotalDurationUS() / 3
+	var lo, mid, hi int
+	for _, r := range reqs {
+		switch {
+		case r.AtUS < third:
+			lo++
+		case r.AtUS < 2*third:
+			mid++
+		default:
+			hi++
+		}
+	}
+	if mid <= lo || mid <= hi {
+		t.Fatalf("ramp not middle-heavy: thirds %d/%d/%d", lo, mid, hi)
+	}
+}
+
+// TestCacheMix checks the repeat-vs-fresh mix: repeats must reference
+// previously issued (graph, seed) pairs, and the fresh fraction must land
+// near 1 - cache_hit_ratio.
+func TestCacheMix(t *testing.T) {
+	p := &Plan{
+		Seed:          3,
+		CacheHitRatio: 0.6,
+		Specs:         specMix(),
+		Phases: []Phase{
+			{Name: "p", Arrival: ArrivalPoisson, Rate: 400, DurationMS: 1000},
+		},
+	}
+	reqs, err := p.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	var fresh, total int
+	for _, r := range reqs {
+		freshHere := 0
+		for _, s := range r.Specs {
+			total++
+			if seen[s.Seed] {
+				continue
+			}
+			seen[s.Seed] = true
+			freshHere++
+		}
+		fresh += freshHere
+		if freshHere != r.Fresh {
+			t.Fatalf("request %d reports %d fresh specs, observed %d", r.Index, r.Fresh, freshHere)
+		}
+	}
+	frac := float64(fresh) / float64(total)
+	if frac < 0.25 || frac > 0.55 {
+		t.Fatalf("fresh fraction %.2f far from target %.2f (%d/%d)", frac, 1-p.CacheHitRatio, fresh, total)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Plan)
+		want string
+	}{
+		{"no specs", func(p *Plan) { p.Specs = nil }, "no specs"},
+		{"bad spec", func(p *Plan) { p.Specs[0].Spec.Graph = "nope" }, "spec 0"},
+		{"no phases", func(p *Plan) { p.Phases = nil }, "no phases"},
+		{"bad arrival", func(p *Plan) { p.Phases[0].Arrival = "uniform" }, "unknown arrival"},
+		{"zero rate", func(p *Plan) { p.Phases[0].Rate = 0 }, "rate must be positive"},
+		{"dup phase", func(p *Plan) { p.Phases[1].Name = p.Phases[0].Name }, "duplicate phase"},
+		{"bursty no on", func(p *Plan) { p.Phases[1].OnMS = 0 }, "on_ms"},
+		{"bad endpoint", func(p *Plan) { p.Endpoints["push"] = 1 }, "unknown endpoint"},
+		{"bad ratio", func(p *Plan) { p.CacheHitRatio = 1 }, "cache_hit_ratio"},
+		{"big batch", func(p *Plan) { p.BatchSize = MaxGroupSize + 1 }, "batch_size"},
+		{"slo bad metric", func(p *Plan) { p.SLOs = []SLO{{Metric: "p95_ms", Value: 1}} }, "unknown metric"},
+		{"slo bad phase", func(p *Plan) { p.SLOs = []SLO{{Metric: "p99_ms", Phase: "nope", Value: 1}} }, "unknown phase"},
+		{"slo bad op", func(p *Plan) { p.SLOs = []SLO{{Metric: "p99_ms", Op: "eq", Value: 1}} }, "unknown op"},
+		{"slo sample ep", func(p *Plan) { p.SLOs = []SLO{{Metric: "queue_depth_p90", Endpoint: "run", Value: 1}} }, "endpoint-wide"},
+		{"too many reqs", func(p *Plan) { p.Phases[0].Rate = 1e9 }, "maximum"},
+	}
+	for _, tc := range cases {
+		p := testPlan()
+		tc.mut(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseStrict(t *testing.T) {
+	if _, err := Parse([]byte(`{"specz": []}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	doc := `{
+		"name": "q", "seed": 1,
+		"specs": [{"spec": {"graph": "cycle", "params": {"n": 64}, "algorithm": "mis/luby", "trials": 2}}],
+		"phases": [{"name": "p", "arrival": "poisson", "rate": 20, "duration_ms": 500}],
+		"slos": [{"metric": "p99_ms", "value": 5000}]
+	}`
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "q" || len(p.Phases) != 1 || len(p.SLOs) != 1 {
+		t.Fatalf("parsed plan mangled: %+v", p)
+	}
+}

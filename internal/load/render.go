@@ -1,0 +1,140 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ms renders a millisecond value compactly.
+func ms(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v < 10:
+		return fmt.Sprintf("%.2fms", v)
+	case v < 1000:
+		return fmt.Sprintf("%.1fms", v)
+	default:
+		return fmt.Sprintf("%.2fs", v/1000)
+	}
+}
+
+// RenderReport renders the artifact for the terminal: run summary, the
+// per-window table (one row per phase × endpoint × window), the server
+// sample series, and the SLO verdict table — what `avgload` prints after
+// a run and `avgload -report` reprints from an artifact.
+func RenderReport(a *Artifact) string {
+	var b strings.Builder
+	name := a.Header.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "load %s (seed %d, start %s)\n", name, a.Header.Seed, a.Header.Start)
+	if r := a.Report; r != nil {
+		fmt.Fprintf(&b, "requests %d: ok %d, errors %d, shed %d, cached %d, duration %.1fs\n",
+			r.Requests, r.OK, r.Errors, r.Shed, r.Cached, float64(r.DurationUS)/1e6)
+	}
+	b.WriteString("\n")
+
+	if len(a.Windows) > 0 {
+		fmt.Fprintf(&b, "%-8s %-10s %-9s %5s %5s %4s %4s %5s %8s %8s %8s %8s\n",
+			"window", "phase", "endpoint", "n", "ok", "err", "shed", "cach", "p50", "p90", "p99", "max")
+		for _, wl := range a.Windows {
+			fmt.Fprintf(&b, "%-8s %-10s %-9s %5d %5d %4d %4d %5d %8s %8s %8s %8s\n",
+				fmt.Sprintf("+%ds", wl.AtUS/1_000_000), wl.Phase, wl.Endpoint,
+				wl.Count, wl.OK, wl.Errors, wl.Shed, wl.Cached,
+				ms(wl.LatMS.P50), ms(wl.LatMS.P90), ms(wl.LatMS.P99), ms(wl.LatMS.Max))
+		}
+		b.WriteString("\n")
+	}
+
+	if n := len(a.Samples); n > 0 {
+		fmt.Fprintf(&b, "server samples (%d):\n", n)
+		fmt.Fprintf(&b, "%-8s %6s %6s %6s %9s %7s %8s %8s\n",
+			"at", "queue", "infl", "retry", "runs", "cached", "g.hits", "breaker")
+		for _, s := range a.Samples {
+			if s.Err != "" {
+				fmt.Fprintf(&b, "+%-7.1fs scrape error: %s\n", float64(s.AtUS)/1e6, s.Err)
+				continue
+			}
+			br := s.Breaker
+			if br == "" {
+				br = "-"
+			}
+			fmt.Fprintf(&b, "%-8s %6d %6d %6d %9d %7d %8d %8s\n",
+				fmt.Sprintf("+%.1fs", float64(s.AtUS)/1e6),
+				s.QueueDepth, s.InFlight, s.RetryAfterSec,
+				s.RunsCompleted, s.RunsCached, s.GraphHits, br)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString(RenderVerdicts(a))
+	return b.String()
+}
+
+// RenderVerdicts renders the SLO table and the folded run verdict.
+func RenderVerdicts(a *Artifact) string {
+	var b strings.Builder
+	if len(a.SLOs) == 0 {
+		b.WriteString("no SLOs in plan\n")
+	} else {
+		b.WriteString("slos:\n")
+		for _, s := range a.SLOs {
+			name := s.Name
+			if name == "" {
+				name = s.Metric
+			}
+			fmt.Fprintf(&b, "  %-13s %-24s %s\n", s.Verdict, name, s.Detail)
+		}
+	}
+	if a.Report != nil && a.Report.Verdict != "" {
+		fmt.Fprintf(&b, "verdict: %s (%d confirmed, %d rejected, %d inconclusive)\n",
+			a.Report.Verdict, a.Report.Confirmed, a.Report.Rejected, a.Report.Inconclusive)
+	}
+	return b.String()
+}
+
+// RenderWaterfall renders the per-phase latency waterfall: each phase as a
+// block of windows with a p99 latency bar, so the load shape and the
+// latency response read together — what `avgtrace` prints for a load
+// artifact.
+func RenderWaterfall(a *Artifact) string {
+	var b strings.Builder
+	name := a.Header.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "load %s: latency waterfall (bar = window p99)\n", name)
+
+	// Scale all bars against the run-wide p99 maximum.
+	var maxP99 float64
+	for _, wl := range a.Windows {
+		if wl.LatMS.P99 > maxP99 {
+			maxP99 = wl.LatMS.P99
+		}
+	}
+	const barW = 40
+	for _, ph := range a.Header.Phases {
+		fmt.Fprintf(&b, "\nphase %s (%s %.4grps, %.1fs):\n",
+			ph.Name, ph.Arrival, ph.Rate, float64(ph.DurUS)/1e6)
+		for _, wl := range a.Windows {
+			if wl.Phase != ph.Name {
+				continue
+			}
+			n := 0
+			if maxP99 > 0 {
+				n = int(wl.LatMS.P99 / maxP99 * barW)
+			}
+			if n == 0 && wl.OK > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  +%-5s %-9s %4d req %8s p99 |%s\n",
+				fmt.Sprintf("%.0fs", float64(wl.AtUS)/1e6), wl.Endpoint,
+				wl.Count, ms(wl.LatMS.P99), strings.Repeat("#", n))
+		}
+	}
+	b.WriteString("\n")
+	b.WriteString(RenderVerdicts(a))
+	return b.String()
+}

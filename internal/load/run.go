@@ -1,0 +1,393 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"avgloc/internal/campaign"
+	"avgloc/internal/obs"
+)
+
+// Options configures a load run.
+type Options struct {
+	// BaseURL is the avgserve root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client (default: 30s timeout, idle-connection pool
+	// sized to MaxInFlight so the generator isn't throttled by dialing).
+	Client *http.Client
+	// Out receives the NDJSON artifact as the run progresses; nil discards.
+	Out io.Writer
+	// MaxInFlight bounds concurrent requests (default 256). The generator
+	// is open-loop — latency is measured from the *scheduled* send time —
+	// so when this bound delays a send, the delay counts against latency
+	// instead of being omitted from it.
+	MaxInFlight int
+	// SampleInterval is the /v1/metrics scrape cadence (default: the
+	// plan's window width), keeping server samples aligned with client
+	// latency windows on the same artifact clock.
+	SampleInterval time.Duration
+}
+
+// serverMetrics is the subset of avgserve's GET /v1/metrics body the
+// scraper keeps. Decoding is non-strict: the server grows fields freely.
+type serverMetrics struct {
+	InFlight      int    `json:"in_flight"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCap      int    `json:"queue_cap"`
+	RunsCompleted int64  `json:"runs_completed"`
+	RunsCached    int64  `json:"runs_cached"`
+	RetryAfterSec int    `json:"retry_after_seconds"`
+	Breaker       string `json:"fleet_breaker_state"`
+	GraphStore    struct {
+		Hits   int64 `json:"hits"`
+		Builds int64 `json:"builds"`
+		Bytes  int64 `json:"bytes"`
+	} `json:"graphstore"`
+}
+
+// Run executes the plan against the server: it expands the deterministic
+// schedule, fires each request at its scheduled offset, scrapes the
+// server's /v1/metrics on the same clock, rolls everything into per
+// (phase, endpoint) windows via obs.Windowed, evaluates the plan's SLOs,
+// and returns the complete artifact (also streamed to opt.Out as NDJSON).
+func Run(p *Plan, opt Options) (*Artifact, error) {
+	schedule, err := p.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	if opt.BaseURL == "" {
+		return nil, fmt.Errorf("load: no base URL")
+	}
+	maxInFlight := opt.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 256
+	}
+	client := opt.Client
+	if client == nil {
+		tr, _ := http.DefaultTransport.(*http.Transport)
+		if tr != nil {
+			tr = tr.Clone()
+			tr.MaxIdleConnsPerHost = maxInFlight
+		}
+		client = &http.Client{Timeout: 30 * time.Second, Transport: tr}
+	}
+	windowUS := int64(p.windowMS()) * 1000
+	sampleEvery := opt.SampleInterval
+	if sampleEvery <= 0 {
+		sampleEvery = time.Duration(windowUS) * time.Microsecond
+	}
+
+	hdr := Header{
+		Name:     p.Name,
+		Seed:     p.Seed,
+		BaseURL:  opt.BaseURL,
+		WindowUS: windowUS,
+		Plan:     p,
+	}
+	for i := range p.Phases {
+		ph := &p.Phases[i]
+		hdr.Phases = append(hdr.Phases, PhaseInfo{
+			Name: ph.Name, Arrival: ph.Arrival, Rate: ph.Rate,
+			AtUS: p.PhaseStartUS(i), DurUS: int64(ph.DurationMS) * 1000,
+		})
+	}
+	out := opt.Out
+	if out == nil {
+		out = io.Discard
+	}
+	start := time.Now()
+	hdr.Start = start.UTC().Format(time.RFC3339Nano)
+	w, err := NewWriter(out, hdr)
+	if err != nil {
+		return nil, err
+	}
+	art := &Artifact{Header: hdr}
+
+	// Recorder state: request outcomes plus an obs.Windowed latency series
+	// per (phase, endpoint). Latencies land in the window of the scheduled
+	// send time so a stalled response cannot smear into later windows.
+	var mu sync.Mutex
+	results := make([]ReqLine, 0, len(schedule))
+	lat := make(map[[2]string]*obs.Windowed)
+	record := func(l ReqLine) {
+		mu.Lock()
+		results = append(results, l)
+		if l.OK() {
+			k := [2]string{l.Phase, l.Endpoint}
+			wd := lat[k]
+			if wd == nil {
+				wd = obs.NewWindowed(windowUS)
+				lat[k] = wd
+			}
+			wd.Observe(l.AtUS, float64(l.LatUS)/1000)
+		}
+		mu.Unlock()
+		w.Emit(l)
+	}
+
+	// Scraper: server samples interleaved on the artifact clock.
+	var samples []SampleLine
+	var sampleMu sync.Mutex
+	scrape := func() {
+		s := scrapeMetrics(client, opt.BaseURL)
+		s.AtUS = time.Since(start).Microseconds()
+		sampleMu.Lock()
+		samples = append(samples, s)
+		sampleMu.Unlock()
+		w.Emit(s)
+	}
+	stopScrape := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		scrape()
+		t := time.NewTicker(sampleEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopScrape:
+				return
+			case <-t.C:
+				scrape()
+			}
+		}
+	}()
+
+	// Dispatcher: open loop. Sleep to each scheduled offset, then fire in
+	// a goroutine; never wait for the previous response before sending the
+	// next request.
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	for i := range schedule {
+		req := &schedule[i]
+		sched := start.Add(time.Duration(req.AtUS) * time.Microsecond)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			l := fire(client, opt.BaseURL, p, req)
+			l.LatUS = time.Since(sched).Microseconds()
+			record(l)
+		}()
+	}
+	wg.Wait()
+	close(stopScrape)
+	scrapeWG.Wait()
+	scrape() // one final sample after the last response
+
+	durationUS := time.Since(start).Microseconds()
+	if planned := p.TotalDurationUS(); durationUS < planned {
+		durationUS = planned
+	}
+
+	mu.Lock()
+	sort.Slice(results, func(i, j int) bool { return results[i].I < results[j].I })
+	art.Requests = results
+	mu.Unlock()
+	sampleMu.Lock()
+	art.Samples = append(art.Samples, samples...)
+	sampleMu.Unlock()
+
+	art.Windows = buildWindows(p, art.Requests, lat, windowUS)
+	for _, wl := range art.Windows {
+		w.Emit(wl)
+	}
+	slos, rep := Evaluate(p, art.Requests, art.Samples, durationUS)
+	for _, sl := range slos {
+		w.Emit(sl)
+	}
+	art.SLOs = slos
+	art.Report = &rep
+	if err := w.Emit(rep); err != nil {
+		return nil, err
+	}
+	return art, nil
+}
+
+// scrapeMetrics fetches one /v1/metrics sample; failures become a sample
+// line with Err set so gaps in server telemetry are visible, not silent.
+func scrapeMetrics(client *http.Client, baseURL string) SampleLine {
+	s := SampleLine{Type: "sample"}
+	resp, err := client.Get(baseURL + "/v1/metrics")
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		s.Err = fmt.Sprintf("status %d", resp.StatusCode)
+		return s
+	}
+	var m serverMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	s.QueueDepth = m.QueueDepth
+	s.QueueCap = m.QueueCap
+	s.InFlight = m.InFlight
+	s.RunsCompleted = m.RunsCompleted
+	s.RunsCached = m.RunsCached
+	s.RetryAfterSec = m.RetryAfterSec
+	s.Breaker = m.Breaker
+	s.GraphHits = m.GraphStore.Hits
+	s.GraphBuilds = m.GraphStore.Builds
+	s.GraphBytes = m.GraphStore.Bytes
+	return s
+}
+
+// fire sends one scheduled request and classifies the outcome. The caller
+// stamps LatUS afterwards (open loop: measured from the scheduled time).
+func fire(client *http.Client, baseURL string, p *Plan, req *Request) ReqLine {
+	l := ReqLine{
+		Type:     "req",
+		I:        req.Index,
+		Phase:    p.Phases[req.Phase].Name,
+		Endpoint: req.Endpoint,
+		AtUS:     req.AtUS,
+	}
+	var path string
+	var body any
+	switch req.Endpoint {
+	case EndpointRun:
+		path = "/v1/run"
+		body = &req.Specs[0]
+	case EndpointBatch:
+		path = "/v1/batch"
+		body = map[string]any{"specs": req.Specs}
+	case EndpointCampaign:
+		path = "/v1/campaigns"
+		c := campaign.Campaign{Name: fmt.Sprintf("load-%d", req.Index)}
+		for k := range req.Specs {
+			c.Scenarios = append(c.Scenarios, campaign.Item{
+				Name: fmt.Sprintf("s%d", k),
+				Spec: req.Specs[k],
+			})
+		}
+		body = &c
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		l.Err = err.Error()
+		return l
+	}
+	resp, err := client.Post(baseURL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		l.Err = err.Error()
+		return l
+	}
+	defer resp.Body.Close()
+	l.Status = resp.StatusCode
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil {
+			l.RetryAfter = n
+		}
+	}
+	switch req.Endpoint {
+	case EndpointRun:
+		io.Copy(io.Discard, resp.Body)
+		l.Cached = resp.Header.Get("X-Avgserve-Cache") == "hit"
+	default:
+		// Batch and campaign responses are NDJSON streams; the request is
+		// "cached" when every line that reports a cached field says true.
+		cached, total := 0, 0
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<14), 1<<22)
+		for sc.Scan() {
+			var line struct {
+				Cached *bool `json:"cached"`
+			}
+			if json.Unmarshal(sc.Bytes(), &line) == nil && line.Cached != nil {
+				total++
+				if *line.Cached {
+					cached++
+				}
+			}
+		}
+		if err := sc.Err(); err != nil && l.Err == "" {
+			l.Err = err.Error()
+		}
+		l.Cached = total > 0 && cached == total
+	}
+	return l
+}
+
+// buildWindows merges the per-(phase, endpoint) obs.Windowed latency
+// snapshots with request counters into window lines, ordered by (window,
+// phase, endpoint).
+func buildWindows(p *Plan, reqs []ReqLine, lat map[[2]string]*obs.Windowed, windowUS int64) []WindowLine {
+	type key struct {
+		phase, ep string
+		w         int64
+	}
+	counters := make(map[key]*WindowLine)
+	for i := range reqs {
+		r := &reqs[i]
+		k := key{r.Phase, r.Endpoint, r.AtUS / windowUS}
+		wl := counters[k]
+		if wl == nil {
+			wl = &WindowLine{
+				Type: "window", Phase: k.phase, Endpoint: k.ep,
+				W: k.w, AtUS: k.w * windowUS,
+			}
+			counters[k] = wl
+		}
+		wl.Count++
+		switch {
+		case r.OK():
+			wl.OK++
+			if r.Cached {
+				wl.Cached++
+			}
+		case r.Shed():
+			wl.Shed++
+		default:
+			wl.Errors++
+		}
+		if r.RetryAfter > wl.RetryAfterMax {
+			wl.RetryAfterMax = r.RetryAfter
+		}
+	}
+	for pk, wd := range lat {
+		for _, win := range wd.Snapshot() {
+			wl := counters[key{pk[0], pk[1], win.Index}]
+			if wl == nil {
+				continue // latency windows are a subset of counter windows
+			}
+			wl.LatMS = win.Q
+			if win.Count > 0 {
+				wl.MeanMS = win.Sum / float64(win.Count)
+			}
+			wl.RPS = float64(win.Count) / (float64(windowUS) / 1e6)
+		}
+	}
+	out := make([]WindowLine, 0, len(counters))
+	for _, wl := range counters {
+		out = append(out, *wl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		return a.Endpoint < b.Endpoint
+	})
+	return out
+}

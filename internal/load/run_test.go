@@ -1,0 +1,270 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"avgloc/internal/campaign"
+	"avgloc/internal/scenario"
+)
+
+// stubServer mimics the slice of avgserve the generator touches: /v1/run
+// with the cache header, NDJSON /v1/batch and /v1/campaigns, and a
+// /v1/metrics JSON body. It dedupes on spec key like the real result store.
+type stubServer struct {
+	mu   sync.Mutex
+	seen map[string]bool
+	hits int
+}
+
+func (s *stubServer) cached(sp *scenario.Spec) bool {
+	key, err := sp.Key()
+	if err != nil {
+		key = fmt.Sprintf("bad-%v", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[key] {
+		s.hits++
+		return true
+	}
+	s.seen[key] = true
+	return false
+}
+
+func (s *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		var sp scenario.Spec
+		if err := json.NewDecoder(r.Body).Decode(&sp); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		cache := "miss"
+		if s.cached(&sp) {
+			cache = "hit"
+		}
+		w.Header().Set("X-Avgserve-Cache", cache)
+		w.Write([]byte(`{"ok":true}`))
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Specs []scenario.Spec `json:"specs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		enc := json.NewEncoder(w)
+		for i := range req.Specs {
+			enc.Encode(map[string]any{"index": i, "status": "done", "cached": s.cached(&req.Specs[i])})
+		}
+	})
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var c campaign.Campaign
+		if err := json.NewDecoder(r.Body).Decode(&c); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		enc := json.NewEncoder(w)
+		for i := range c.Scenarios {
+			enc.Encode(map[string]any{"index": i, "cached": s.cached(&c.Scenarios[i].Spec)})
+		}
+		enc.Encode(map[string]any{"type": "verdict"})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		hits := s.hits
+		s.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{
+			"queue_depth": 3, "queue_cap": 64, "in_flight": 1,
+			"runs_completed": int64(hits), "retry_after_seconds": 1,
+			"fleet_breaker_state": "closed",
+			"graphstore":          map[string]any{"hits": 5, "builds": 2, "bytes": 4096},
+		})
+	})
+	return mux
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	stub := &stubServer{seen: make(map[string]bool)}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	p := &Plan{
+		Name:          "e2e",
+		Seed:          9,
+		WindowMS:      250,
+		CacheHitRatio: 0.5,
+		Endpoints:     map[string]float64{"run": 3, "batch": 1, "campaign": 1},
+		Specs:         specMix(),
+		Phases: []Phase{
+			{Name: "steady", Arrival: ArrivalPoisson, Rate: 80, DurationMS: 600},
+		},
+		SLOs: []SLO{
+			{Name: "lat", Metric: "p99_ms", Value: 10_000},
+			{Name: "errs", Metric: "error_rate", Value: 0.05},
+			{Name: "queue", Metric: "queue_depth_p90", Op: "le", Value: 64, MinCount: 2},
+			{Name: "impossible", Metric: "p50_ms", Value: 0.000001},
+		},
+	}
+	var buf bytes.Buffer
+	art, err := Run(p, Options{BaseURL: srv.URL, Out: &buf, SampleInterval: 100_000_000}) // 100ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Requests) == 0 {
+		t.Fatal("no requests recorded")
+	}
+	schedule, _ := p.Schedule()
+	if len(art.Requests) != len(schedule) {
+		t.Fatalf("recorded %d requests, scheduled %d", len(art.Requests), len(schedule))
+	}
+	okCount, cachedCount := 0, 0
+	for _, r := range art.Requests {
+		if r.OK() {
+			okCount++
+		}
+		if r.Cached {
+			cachedCount++
+		}
+	}
+	if okCount != len(art.Requests) {
+		t.Fatalf("%d/%d requests failed against the stub", len(art.Requests)-okCount, len(art.Requests))
+	}
+	if cachedCount == 0 {
+		t.Fatal("cache_hit_ratio 0.5 produced no cache hits")
+	}
+	if len(art.Windows) == 0 {
+		t.Fatal("no window lines")
+	}
+	hasLatency := false
+	for _, wl := range art.Windows {
+		if wl.LatMS.P99 > 0 {
+			hasLatency = true
+		}
+	}
+	if !hasLatency {
+		t.Fatal("no window carries latency quantiles")
+	}
+	if len(art.Samples) < 2 {
+		t.Fatalf("only %d server samples", len(art.Samples))
+	}
+	for _, s := range art.Samples {
+		if s.Err != "" {
+			t.Fatalf("sample error: %s", s.Err)
+		}
+		if s.QueueCap != 64 || s.GraphBytes != 4096 {
+			t.Fatalf("sample not populated: %+v", s)
+		}
+	}
+	if art.Report == nil {
+		t.Fatal("no report")
+	}
+	if art.Report.Verdict != campaign.Rejected {
+		t.Fatalf("run verdict %s, want REJECTED (impossible p50 SLO)", art.Report.Verdict)
+	}
+	byName := map[string]campaign.Verdict{}
+	for _, s := range art.SLOs {
+		byName[s.Name] = s.Verdict
+	}
+	for _, name := range []string{"lat", "errs", "queue"} {
+		if byName[name] != campaign.Confirmed {
+			t.Fatalf("slo %s: %s, want CONFIRMED", name, byName[name])
+		}
+	}
+	if byName["impossible"] != campaign.Rejected {
+		t.Fatalf("slo impossible: %s, want REJECTED", byName["impossible"])
+	}
+
+	// Round-trip: the streamed artifact parses back to the same content.
+	parsed, err := ReadArtifact(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Requests) != len(art.Requests) || len(parsed.Windows) != len(art.Windows) ||
+		len(parsed.Samples) != len(art.Samples) || len(parsed.SLOs) != len(art.SLOs) {
+		t.Fatalf("round-trip mismatch: %d/%d reqs, %d/%d windows, %d/%d samples, %d/%d slos",
+			len(parsed.Requests), len(art.Requests), len(parsed.Windows), len(art.Windows),
+			len(parsed.Samples), len(art.Samples), len(parsed.SLOs), len(art.SLOs))
+	}
+	if parsed.Report == nil || parsed.Report.Verdict != art.Report.Verdict {
+		t.Fatal("round-trip lost the report")
+	}
+	if parsed.Header.Plan == nil || parsed.Header.Plan.Name != "e2e" {
+		t.Fatal("round-trip lost the plan echo")
+	}
+
+	// Renderers stay smoke-tested on real output.
+	rep := RenderReport(parsed)
+	for _, want := range []string{"load e2e", "steady", "REJECTED", "p50_ms"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report output missing %q:\n%s", want, rep)
+		}
+	}
+	wf := RenderWaterfall(parsed)
+	if !strings.Contains(wf, "phase steady") || !strings.Contains(wf, "p99") {
+		t.Fatalf("waterfall output malformed:\n%s", wf)
+	}
+}
+
+func TestRunRecordsShedding(t *testing.T) {
+	// A server that sheds everything: requests become 503s with observed
+	// Retry-After, and a shed_rate SLO rejects.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"queue_depth": 64, "queue_cap": 64})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	p := &Plan{
+		Seed:  5,
+		Specs: specMix()[:1],
+		Phases: []Phase{
+			{Name: "p", Arrival: ArrivalPoisson, Rate: 60, DurationMS: 400},
+		},
+		SLOs: []SLO{
+			{Name: "shed", Metric: "shed_rate", Value: 0.01},
+			{Name: "ra", Metric: "retry_after_max", Op: "le", Value: 5},
+		},
+	}
+	art, err := Run(p, Options{BaseURL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Report.Shed != len(art.Requests) {
+		t.Fatalf("shed %d of %d", art.Report.Shed, len(art.Requests))
+	}
+	for _, r := range art.Requests {
+		if !r.Shed() || r.RetryAfter != 7 {
+			t.Fatalf("request %d: status %d retry-after %d", r.I, r.Status, r.RetryAfter)
+		}
+	}
+	byName := map[string]campaign.Verdict{}
+	for _, s := range art.SLOs {
+		byName[s.Name] = s.Verdict
+	}
+	if byName["shed"] != campaign.Rejected || byName["ra"] != campaign.Rejected {
+		t.Fatalf("shed=%s ra=%s, want both REJECTED", byName["shed"], byName["ra"])
+	}
+}
+
+func TestReadArtifactRejectsTrace(t *testing.T) {
+	if _, err := ReadArtifact(strings.NewReader(`{"type":"trace","start":"x"}`)); err == nil {
+		t.Fatal("trace artifact accepted as load artifact")
+	}
+	if _, err := ReadArtifact(strings.NewReader("")); err == nil {
+		t.Fatal("empty artifact accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package load
+
+import (
+	"fmt"
+
+	"avgloc/internal/campaign"
+	"avgloc/internal/measure"
+)
+
+// Default minimum observation counts for a conclusive verdict.
+const (
+	defaultMinRequests = 10
+	defaultMinSamples  = 3
+)
+
+// Evaluate judges every SLO of the plan against the recorded requests and
+// server samples, reusing the campaign verdict vocabulary: CONFIRMED when
+// the comparison holds over enough observations, REJECTED when it fails,
+// INCONCLUSIVE when the scope saw fewer observations than min_count. The
+// report's run verdict is the campaign.Worse fold over all SLO verdicts —
+// the same severity composition a campaign hypothesis uses — so a single
+// REJECTED SLO rejects the run.
+func Evaluate(p *Plan, reqs []ReqLine, samples []SampleLine, durationUS int64) ([]SLOLine, ReportLine) {
+	lines := make([]SLOLine, 0, len(p.SLOs))
+	rep := ReportLine{Type: "report", Requests: len(reqs), DurationUS: durationUS}
+	for _, r := range reqs {
+		switch {
+		case r.OK():
+			rep.OK++
+			if r.Cached {
+				rep.Cached++
+			}
+		case r.Shed():
+			rep.Shed++
+		default:
+			rep.Errors++
+		}
+	}
+	verdict := campaign.Confirmed
+	for i := range p.SLOs {
+		l := evalSLO(p, &p.SLOs[i], reqs, samples, durationUS)
+		switch l.Verdict {
+		case campaign.Confirmed:
+			rep.Confirmed++
+		case campaign.Rejected:
+			rep.Rejected++
+		default:
+			rep.Inconclusive++
+		}
+		verdict = campaign.Worse(verdict, l.Verdict)
+		lines = append(lines, l)
+	}
+	rep.Verdict = verdict
+	return lines, rep
+}
+
+// phaseRangeUS returns the [start, end) offsets of the named phase, or the
+// whole run for "".
+func phaseRangeUS(p *Plan, name string, durationUS int64) (int64, int64) {
+	if name == "" {
+		end := p.TotalDurationUS()
+		if durationUS > end {
+			end = durationUS
+		}
+		return 0, end
+	}
+	for i := range p.Phases {
+		if p.Phases[i].Name == name {
+			start := p.PhaseStartUS(i)
+			return start, start + int64(p.Phases[i].DurationMS)*1000
+		}
+	}
+	return 0, 0
+}
+
+func evalSLO(p *Plan, s *SLO, reqs []ReqLine, samples []SampleLine, durationUS int64) SLOLine {
+	l := SLOLine{
+		Type: "slo", Name: s.Name, Phase: s.Phase, Endpoint: s.Endpoint,
+		Metric: s.Metric, Op: opOrDefault(s.Op), Value: s.Value,
+	}
+	startUS, endUS := phaseRangeUS(p, s.Phase, durationUS)
+	var measured float64
+	var count int
+	if requestMetrics[s.Metric] {
+		scoped := make([]ReqLine, 0, len(reqs))
+		for _, r := range reqs {
+			if r.AtUS < startUS || r.AtUS >= endUS {
+				continue
+			}
+			if s.Endpoint != "" && r.Endpoint != s.Endpoint {
+				continue
+			}
+			scoped = append(scoped, r)
+		}
+		count = len(scoped)
+		measured = requestMetric(s.Metric, scoped, endUS-startUS)
+	} else {
+		scoped := make([]SampleLine, 0, len(samples))
+		for _, sm := range samples {
+			if sm.Err != "" || sm.AtUS < startUS || sm.AtUS >= endUS {
+				continue
+			}
+			scoped = append(scoped, sm)
+		}
+		count = len(scoped)
+		measured = sampleMetric(s.Metric, scoped)
+	}
+	l.Measured = measured
+	l.Count = count
+	min := s.MinCount
+	if min <= 0 {
+		if requestMetrics[s.Metric] {
+			min = defaultMinRequests
+		} else {
+			min = defaultMinSamples
+		}
+	}
+	scope := "whole run"
+	if s.Phase != "" {
+		scope = "phase " + s.Phase
+	}
+	if s.Endpoint != "" {
+		scope += ", endpoint " + s.Endpoint
+	}
+	if count < min {
+		l.Verdict = campaign.Inconclusive
+		l.Detail = fmt.Sprintf("%d observations over %s, need %d", count, scope, min)
+		return l
+	}
+	if compare(l.Op, measured, s.Value) {
+		l.Verdict = campaign.Confirmed
+	} else {
+		l.Verdict = campaign.Rejected
+	}
+	l.Detail = fmt.Sprintf("%s %.4g %s %.4g over %d observations (%s)", s.Metric, measured, l.Op, s.Value, count, scope)
+	return l
+}
+
+func opOrDefault(op string) string {
+	if op == "" {
+		return "lt"
+	}
+	return op
+}
+
+func compare(op string, measured, value float64) bool {
+	switch op {
+	case "le":
+		return measured <= value
+	case "gt":
+		return measured > value
+	case "ge":
+		return measured >= value
+	default: // lt
+		return measured < value
+	}
+}
+
+// requestMetric computes one request-scoped metric. Latency metrics are
+// exact quantiles over the scoped OK requests (milliseconds, open-loop —
+// measured from scheduled send time); rate metrics divide by the scoped
+// request count; throughput divides OK requests by the scope duration.
+func requestMetric(metric string, reqs []ReqLine, spanUS int64) float64 {
+	var lats []float64
+	var ok, errs, shed, cached int
+	retryMax := 0
+	for _, r := range reqs {
+		switch {
+		case r.OK():
+			ok++
+			lats = append(lats, float64(r.LatUS)/1000)
+			if r.Cached {
+				cached++
+			}
+		case r.Shed():
+			shed++
+		default:
+			errs++
+		}
+		if r.RetryAfter > retryMax {
+			retryMax = r.RetryAfter
+		}
+	}
+	switch metric {
+	case "p50_ms", "p90_ms", "p99_ms", "max_ms":
+		q := measure.QuantilesOf(lats)
+		switch metric {
+		case "p50_ms":
+			return q.P50
+		case "p90_ms":
+			return q.P90
+		case "p99_ms":
+			return q.P99
+		default:
+			return q.Max
+		}
+	case "mean_ms":
+		if len(lats) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, x := range lats {
+			sum += x
+		}
+		return sum / float64(len(lats))
+	case "error_rate":
+		if len(reqs) == 0 {
+			return 0
+		}
+		return float64(errs) / float64(len(reqs))
+	case "shed_rate":
+		if len(reqs) == 0 {
+			return 0
+		}
+		return float64(shed) / float64(len(reqs))
+	case "cache_hit_rate":
+		if ok == 0 {
+			return 0
+		}
+		return float64(cached) / float64(ok)
+	case "throughput_rps":
+		if spanUS <= 0 {
+			return 0
+		}
+		return float64(ok) / (float64(spanUS) / 1e6)
+	case "retry_after_max":
+		return float64(retryMax)
+	}
+	return 0
+}
+
+// sampleMetric computes one server-sample metric over the scoped scrapes.
+func sampleMetric(metric string, samples []SampleLine) float64 {
+	switch metric {
+	case "queue_depth_p90":
+		depths := make([]float64, len(samples))
+		for i, s := range samples {
+			depths[i] = float64(s.QueueDepth)
+		}
+		return measure.QuantilesOf(depths).P90
+	case "queue_depth_max":
+		max := 0
+		for _, s := range samples {
+			if s.QueueDepth > max {
+				max = s.QueueDepth
+			}
+		}
+		return float64(max)
+	case "breaker_open_ratio":
+		if len(samples) == 0 {
+			return 0
+		}
+		open := 0
+		for _, s := range samples {
+			if s.Breaker == "open" {
+				open++
+			}
+		}
+		return float64(open) / float64(len(samples))
+	}
+	return 0
+}

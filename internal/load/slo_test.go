@@ -1,0 +1,119 @@
+package load
+
+import (
+	"strings"
+	"testing"
+
+	"avgloc/internal/campaign"
+)
+
+// sloPlan builds a one-phase plan with the given SLOs.
+func sloPlan(slos ...SLO) *Plan {
+	return &Plan{
+		Seed:  1,
+		Specs: specMix()[:1],
+		Phases: []Phase{
+			{Name: "p", Arrival: ArrivalPoisson, Rate: 10, DurationMS: 1000},
+		},
+		SLOs: slos,
+	}
+}
+
+// mkReqs builds n OK run-request lines with the given latency (ms), spread
+// evenly over the phase.
+func mkReqs(n int, latMS float64) []ReqLine {
+	out := make([]ReqLine, n)
+	for i := range out {
+		out[i] = ReqLine{
+			Type: "req", I: i, Phase: "p", Endpoint: EndpointRun,
+			AtUS: int64(i) * 1_000_000 / int64(n), Status: 200,
+			LatUS: int64(latMS * 1000),
+		}
+	}
+	return out
+}
+
+func TestEvaluateVerdicts(t *testing.T) {
+	reqs := mkReqs(50, 20) // 50 OK requests at 20ms
+	reqs[0].Status = 503
+	reqs[0].RetryAfter = 3
+	reqs[1].Status = 500
+
+	samples := []SampleLine{
+		{Type: "sample", AtUS: 100_000, QueueDepth: 2},
+		{Type: "sample", AtUS: 400_000, QueueDepth: 8},
+		{Type: "sample", AtUS: 700_000, QueueDepth: 4, Breaker: "open"},
+	}
+
+	p := sloPlan(
+		SLO{Name: "lat", Metric: "p99_ms", Value: 100},                           // 20 < 100 → CONFIRMED
+		SLO{Name: "tight", Metric: "p99_ms", Value: 5},                           // 20 < 5 fails → REJECTED
+		SLO{Name: "errs", Metric: "error_rate", Value: 0.1},                      // 1/50 → CONFIRMED
+		SLO{Name: "shed", Metric: "shed_rate", Value: 0.1},                       // 1/50 → CONFIRMED
+		SLO{Name: "ra", Metric: "retry_after_max", Op: "le", Value: 3},           // 3 <= 3 → CONFIRMED
+		SLO{Name: "tput", Metric: "throughput_rps", Op: "ge", Value: 10},         // 48/1s → CONFIRMED
+		SLO{Name: "queue", Metric: "queue_depth_p90", Value: 10},                 // p90(2,8,4)=8 < 10 → CONFIRMED
+		SLO{Name: "breaker", Metric: "breaker_open_ratio", Op: "le", Value: 0.5}, // 1/3 → CONFIRMED
+		SLO{Name: "thin", Metric: "p99_ms", Value: 100, MinCount: 1000},          // too few → INCONCLUSIVE
+	)
+	lines, rep := Evaluate(p, reqs, samples, 1_000_000)
+	want := map[string]campaign.Verdict{
+		"lat": campaign.Confirmed, "tight": campaign.Rejected,
+		"errs": campaign.Confirmed, "shed": campaign.Confirmed,
+		"ra": campaign.Confirmed, "tput": campaign.Confirmed,
+		"queue": campaign.Confirmed, "breaker": campaign.Confirmed,
+		"thin": campaign.Inconclusive,
+	}
+	for _, l := range lines {
+		if l.Verdict != want[l.Name] {
+			t.Errorf("slo %s: verdict %s, want %s (detail: %s)", l.Name, l.Verdict, want[l.Name], l.Detail)
+		}
+	}
+	if rep.Verdict != campaign.Rejected {
+		t.Fatalf("run verdict %s, want REJECTED (worst folds)", rep.Verdict)
+	}
+	if rep.Confirmed != 7 || rep.Rejected != 1 || rep.Inconclusive != 1 {
+		t.Fatalf("report counts %d/%d/%d", rep.Confirmed, rep.Rejected, rep.Inconclusive)
+	}
+	if rep.OK != 48 || rep.Errors != 1 || rep.Shed != 1 {
+		t.Fatalf("report totals ok=%d errors=%d shed=%d", rep.OK, rep.Errors, rep.Shed)
+	}
+}
+
+func TestEvaluatePhaseScoping(t *testing.T) {
+	// Two phases; all traffic in the schedule's first second belongs to
+	// phase "p". An SLO scoped to the silent second phase is INCONCLUSIVE.
+	p := &Plan{
+		Seed:  1,
+		Specs: specMix()[:1],
+		Phases: []Phase{
+			{Name: "p", Arrival: ArrivalPoisson, Rate: 10, DurationMS: 1000},
+			{Name: "q", Arrival: ArrivalPoisson, Rate: 10, DurationMS: 1000},
+		},
+		SLOs: []SLO{
+			{Name: "first", Phase: "p", Metric: "p99_ms", Value: 100},
+			{Name: "second", Phase: "q", Metric: "p99_ms", Value: 100},
+		},
+	}
+	lines, _ := Evaluate(p, mkReqs(30, 10), nil, 2_000_000)
+	if lines[0].Verdict != campaign.Confirmed {
+		t.Fatalf("phase p: %s (%s)", lines[0].Verdict, lines[0].Detail)
+	}
+	if lines[1].Verdict != campaign.Inconclusive {
+		t.Fatalf("phase q saw no traffic but is %s", lines[1].Verdict)
+	}
+	if !strings.Contains(lines[1].Detail, "phase q") {
+		t.Fatalf("detail %q does not name the scope", lines[1].Detail)
+	}
+}
+
+func TestEvaluateNoSLOs(t *testing.T) {
+	p := sloPlan()
+	lines, rep := Evaluate(p, mkReqs(5, 1), nil, 1_000_000)
+	if len(lines) != 0 {
+		t.Fatalf("%d slo lines for empty plan", len(lines))
+	}
+	if rep.Verdict != campaign.Confirmed {
+		t.Fatalf("vacuous verdict %s, want CONFIRMED", rep.Verdict)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"avgloc/internal/measure"
+)
+
+// Windowed records raw observations bucketed into fixed-duration time
+// windows and snapshots exact nearest-rank quantiles per window — the
+// Histogram's exact-quantile contract extended along the time axis. It is
+// the recording structure behind the load generator's per-endpoint latency
+// series (internal/load): client-observed latencies land in the window of
+// their *scheduled* send time, so a stalled response cannot smear into
+// later windows and hide coordinated omission.
+//
+// Unlike Histogram, every sample is retained until Snapshot: a load run is
+// bounded by its plan (finite duration × finite rate), so the window map
+// stays O(requests), and exactness matters more than a ring bound here —
+// an SLO verdict computed from a sketch would not be a verdict.
+type Windowed struct {
+	mu      sync.Mutex
+	widthUS int64
+	buckets map[int64][]float64
+}
+
+// NewWindowed returns a recorder with the given window width in
+// microseconds (values <= 0 select one second).
+func NewWindowed(widthUS int64) *Windowed {
+	if widthUS <= 0 {
+		widthUS = 1_000_000
+	}
+	return &Windowed{widthUS: widthUS, buckets: make(map[int64][]float64)}
+}
+
+// WidthUS returns the window width in microseconds.
+func (w *Windowed) WidthUS() int64 { return w.widthUS }
+
+// Observe records one sample at atUS microseconds since the series origin.
+// Negative times clamp into the first window.
+func (w *Windowed) Observe(atUS int64, v float64) {
+	idx := atUS / w.widthUS
+	if atUS < 0 {
+		idx = 0
+	}
+	w.mu.Lock()
+	w.buckets[idx] = append(w.buckets[idx], v)
+	w.mu.Unlock()
+}
+
+// Window is one snapshot bucket: its index, start offset, sample count and
+// exact quantiles (measure.QuantilesOf — the same arithmetic as the
+// paper's distribution blocks and the registry histograms).
+type Window struct {
+	Index int64             `json:"w"`
+	AtUS  int64             `json:"at_us"`
+	Count int               `json:"count"`
+	Sum   float64           `json:"sum"`
+	Q     measure.Quantiles `json:"quantiles"`
+}
+
+// Snapshot returns every non-empty window in index order. The recorder is
+// not consumed; concurrent Observes during a snapshot land in whichever
+// side of the copy they raced into.
+func (w *Windowed) Snapshot() []Window {
+	w.mu.Lock()
+	idxs := make([]int64, 0, len(w.buckets))
+	for i := range w.buckets {
+		idxs = append(idxs, i)
+	}
+	samples := make(map[int64][]float64, len(w.buckets))
+	for i, b := range w.buckets {
+		samples[i] = append([]float64(nil), b...)
+	}
+	w.mu.Unlock()
+
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	out := make([]Window, 0, len(idxs))
+	for _, i := range idxs {
+		xs := samples[i]
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		out = append(out, Window{
+			Index: i,
+			AtUS:  i * w.widthUS,
+			Count: len(xs),
+			Sum:   sum,
+			Q:     measure.QuantilesOf(xs),
+		})
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+func TestWindowedBucketsAndQuantiles(t *testing.T) {
+	w := NewWindowed(1_000_000)
+	// Window 0: 1..10ms; window 2: one sample; negative time clamps to 0.
+	for i := 1; i <= 10; i++ {
+		w.Observe(int64(i)*50_000, float64(i))
+	}
+	w.Observe(2_500_000, 42)
+	w.Observe(-5, 0.5)
+
+	wins := w.Snapshot()
+	if len(wins) != 2 {
+		t.Fatalf("got %d windows, want 2", len(wins))
+	}
+	w0, w2 := wins[0], wins[1]
+	if w0.Index != 0 || w0.AtUS != 0 || w0.Count != 11 {
+		t.Fatalf("window 0: %+v", w0)
+	}
+	if w0.Q.Max != 10 || w0.Q.P50 != 5 {
+		t.Fatalf("window 0 quantiles: %+v", w0.Q)
+	}
+	if w2.Index != 2 || w2.AtUS != 2_000_000 || w2.Count != 1 || w2.Q.P99 != 42 {
+		t.Fatalf("window 2: %+v", w2)
+	}
+	if got := w0.Sum; got != 55.5 {
+		t.Fatalf("window 0 sum %v", got)
+	}
+	// Snapshot does not consume.
+	if again := w.Snapshot(); len(again) != 2 || again[0].Count != 11 {
+		t.Fatal("second snapshot differs")
+	}
+}
+
+func TestWindowedDefaultWidth(t *testing.T) {
+	w := NewWindowed(0)
+	if w.WidthUS() != 1_000_000 {
+		t.Fatalf("default width %d", w.WidthUS())
+	}
+}
