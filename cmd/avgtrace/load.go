@@ -3,9 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 
 	"avgloc/internal/load"
+	"avgloc/internal/twin"
 )
 
 // artifactType probes the first NDJSON line's type field, dispatching
@@ -25,14 +25,23 @@ func artifactType(data []byte) string {
 	return probe.Type
 }
 
-// renderLoad prints a load artifact: the per-phase latency waterfall —
+// renderLoad renders a load artifact: the per-phase latency waterfall —
 // window p99 bars per endpoint, so the load shape and the latency
 // response read together — followed by the SLO verdicts.
-func renderLoad(data []byte) error {
+func renderLoad(data []byte) (string, error) {
 	art, err := load.ReadArtifact(bytes.NewReader(data))
 	if err != nil {
-		return err
+		return "", err
 	}
-	fmt.Print(load.RenderWaterfall(art))
-	return nil
+	return load.RenderWaterfall(art), nil
+}
+
+// renderTwin renders a twin artifact (avgcampaign -twin-out): per sweep,
+// measured-vs-predicted bars per row with the worst-deviating row flagged.
+func renderTwin(data []byte) (string, error) {
+	art, err := twin.ReadArtifact(bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
+	return twin.Render(art), nil
 }

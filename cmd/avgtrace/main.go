@@ -5,15 +5,18 @@
 // requeues, completions), and the critical path. A chaos soak or fleet
 // campaign is debuggable from its artifact alone — no live process needed.
 //
-// It also reads load artifacts (NDJSON written by avgload): for those it
-// prints the per-phase latency waterfall — window p99 bars per endpoint —
-// and the SLO verdict table.
+// It also reads load artifacts (NDJSON written by avgload) — the
+// per-phase latency waterfall and SLO verdict table — and twin artifacts
+// (NDJSON written by avgcampaign -twin-out): for those it plots measured
+// vs predicted per sweep row with the worst-deviating row flagged. Any
+// other header type is a one-line error, never a misrendered guess.
 //
 // Usage:
 //
 //	avgtrace run.trace.ndjson
 //	avgtrace -waterfall=false -chunks=false run.trace.ndjson   # summary only
 //	avgtrace load.ndjson                                       # load artifact
+//	avgtrace paper-twin.ndjson                                 # twin artifact
 //	cat run.trace.ndjson | avgtrace -
 package main
 
@@ -55,29 +58,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "avgtrace:", err)
 		os.Exit(1)
 	}
-	// Load artifacts (internal/load) share the NDJSON typed-header
-	// convention; dispatch on the header type so one reader covers both.
-	if artifactType(data) == "load" {
-		if err := renderLoad(data); err != nil {
-			fmt.Fprintln(os.Stderr, "avgtrace:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	tr, err := readTrace(bytes.NewReader(data))
+	out, err := render(data, *waterfall, *chunks)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avgtrace:", err)
 		os.Exit(1)
 	}
+	fmt.Print(out)
+}
+
+// render dispatches on the artifact's typed header. Every artifact the
+// repo writes (internal/obs traces, internal/load runs, internal/twin
+// evaluations) shares the NDJSON typed-header convention; a header type
+// this binary does not know is an explicit error — falling through to the
+// trace renderer would misread the artifact as an empty trace.
+func render(data []byte, waterfall, chunks bool) (string, error) {
+	switch typ := artifactType(data); typ {
+	case "load":
+		return renderLoad(data)
+	case "twin":
+		return renderTwin(data)
+	case "", "trace", "span", "event":
+		// Trace line types — including a truncated artifact that lost its
+		// header — fall through to the trace reader, whose errors name the
+		// problem ("artifact has no trace header line").
+	default:
+		return "", fmt.Errorf("unknown artifact header type %q (known: load, trace, twin)", typ)
+	}
+	tr, err := readTrace(bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
 	a := analyze(tr)
-	fmt.Print(renderSummary(a))
-	if *waterfall {
-		fmt.Print(renderWaterfall(a))
+	var b strings.Builder
+	b.WriteString(renderSummary(a))
+	if waterfall {
+		b.WriteString(renderWaterfall(a))
 	}
-	if *chunks && len(a.Chunks) > 0 {
-		fmt.Print(renderChunks(a))
+	if chunks && len(a.Chunks) > 0 {
+		b.WriteString(renderChunks(a))
 	}
-	fmt.Print(renderCriticalPath(a))
+	b.WriteString(renderCriticalPath(a))
+	return b.String(), nil
 }
 
 // trace is a parsed artifact.

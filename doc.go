@@ -14,6 +14,7 @@
 //	internal/graphstore  — content-addressed graph artifacts: memory LRU + checksummed CSR disk tier
 //	internal/resultstore — LRU result cache (optional disk persistence) keyed by (hash, seed)
 //	internal/fit         — growth-class classification of measured sweeps
+//	internal/twin        — analytical twin: calibrated closed-form curves evaluated beside sweeps
 //	internal/campaign    — hypothesis campaigns: scenarios + claims → verdicts
 //	internal/fleet       — distributed chunk execution with bit-identical merge
 //	internal/load        — open-loop load generation: seeded schedules, SLO verdicts, NDJSON artifacts
@@ -135,7 +136,14 @@
 // campaigns/paper.json ships the paper's E1/E3-vs-E4/E9-style claims;
 // POST /v1/campaigns streams per-scenario completions in campaign order
 // followed by the verdict report, deduped through the same result store
-// as every other endpoint.
+// as every other endpoint. Beside the fits, internal/twin keeps a
+// catalogue of calibrated closed-form curves A + B·f(n, Δ) per
+// (algorithm, family, measure) and evaluates them against every sweep as
+// pure observability — measured bytes are byte-identical with the twin
+// on or off — feeding localsim -twin, harness ratio columns, the
+// within_twin hypothesis form (constants, where expect judges growth
+// class), avgcampaign -twin-out artifacts rendered by avgtrace, twin.eval
+// flight-recorder spans and the avg_twin_* metrics.
 //
 // # Load testing
 //

@@ -38,6 +38,7 @@ import (
 	"avgloc/internal/obs"
 	"avgloc/internal/resultstore"
 	"avgloc/internal/scenario"
+	"avgloc/internal/twin"
 )
 
 // MaxScenarios bounds one campaign; campaigns reach avgserve's
@@ -73,6 +74,22 @@ type Hypothesis struct {
 	Op string `json:"op,omitempty"`
 	// Ratio is the comparison threshold (default 1).
 	Ratio float64 `json:"ratio,omitempty"`
+	// WithinTwin claims the measured/predicted ratio against the analytical
+	// twin catalogue (internal/twin) stays inside [Min, Max] on every
+	// in-range row of the sweep. The verdict is INCONCLUSIVE — never
+	// CONFIRMED by default — when the catalogue has no model for the
+	// scenario's (algorithm, family, measure), or when the sweep is below
+	// fit's refusal gate (fewer than fit.DefaultMinRows in-range rows, or a
+	// size spread under fit.DefaultMinSpread).
+	WithinTwin *TwinBound `json:"within_twin,omitempty"`
+}
+
+// TwinBound is the within_twin acceptance band on the measured/predicted
+// ratio: 1 means "exactly on the closed form", so e.g. {0.5, 2} accepts
+// up to 2× deviation either way.
+type TwinBound struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
 }
 
 func (h *Hypothesis) op() string {
@@ -158,8 +175,8 @@ func (c *Campaign) Validate() error {
 		default:
 			return fmt.Errorf("campaign: scenario %q: unknown measure %q (node_avg, edge_avg, worst)", it.Name, h.Measure)
 		}
-		if h.Expect == "" && h.CompareTo == "" {
-			return fmt.Errorf("campaign: scenario %q: hypothesis needs expect and/or compare_to", it.Name)
+		if h.Expect == "" && h.CompareTo == "" && h.WithinTwin == nil {
+			return fmt.Errorf("campaign: scenario %q: hypothesis needs expect, compare_to and/or within_twin", it.Name)
 		}
 		if h.Expect != "" && !fit.Valid(h.Expect) {
 			return fmt.Errorf("campaign: scenario %q: unknown growth class %q (one of %v)", it.Name, h.Expect, fit.Classes())
@@ -189,6 +206,14 @@ func (c *Campaign) Validate() error {
 		}
 		if h.Ratio < 0 {
 			return fmt.Errorf("campaign: scenario %q: negative ratio %v", it.Name, h.Ratio)
+		}
+		if w := h.WithinTwin; w != nil {
+			if w.Min <= 0 {
+				return fmt.Errorf("campaign: scenario %q: within_twin min %v must be positive", it.Name, w.Min)
+			}
+			if w.Max <= w.Min {
+				return fmt.Errorf("campaign: scenario %q: within_twin max %v must exceed min %v", it.Name, w.Max, w.Min)
+			}
 		}
 	}
 	return nil
@@ -252,6 +277,12 @@ type ScenarioResult struct {
 	Verdict Verdict     `json:"verdict,omitempty"`
 	Detail  string      `json:"detail,omitempty"`
 	Fit     *fit.Result `json:"fit,omitempty"`
+	// Twin is the analytical twin's evaluation of the scenario's sweep for
+	// the hypothesis measure, attached whenever the catalogue has a model —
+	// with or without a within_twin claim. Recomputed purely from outcome
+	// rows on every Evaluate, so cached and fresh runs carry identical
+	// blocks.
+	Twin *twin.SweepEval `json:"twin,omitempty"`
 }
 
 // Report is the evaluated campaign.
@@ -380,7 +411,81 @@ func evalHypothesis(h *Hypothesis, run *ScenarioRun, byName map[string]*Scenario
 		verdict = Worse(verdict, v)
 		details = append(details, d)
 	}
+	res.Twin = twinSweep(h.Measure, run.Outcome)
+	if h.WithinTwin != nil {
+		v, d := evalWithinTwin(h, run.Outcome, res.Twin)
+		verdict = Worse(verdict, v)
+		details = append(details, d)
+	}
 	res.Verdict, res.Detail = verdict, strings.Join(details, "; ")
+}
+
+// twinSweep evaluates the analytical twin beside an outcome's rows for a
+// measure; nil when the catalogue has no model for the scenario's
+// (algorithm, family, measure).
+func twinSweep(measure string, out *scenario.Outcome) *twin.SweepEval {
+	if out.Spec == nil {
+		return nil
+	}
+	if _, ok := twin.Lookup(out.Spec.Algorithm, out.Spec.Graph, measure); !ok {
+		return nil
+	}
+	pts := make([]twin.Point, 0, len(out.Rows))
+	for _, row := range out.Rows {
+		delta, ok := twin.DeltaOf(out.Spec.Graph, row.Params)
+		if !ok {
+			continue
+		}
+		pts = append(pts, twin.Point{N: float64(row.Nodes), Delta: delta, Measured: measureValue(row.Report, measure)})
+	}
+	ev, _ := twin.EvalSweep(out.Spec.Algorithm, out.Spec.Graph, measure, pts)
+	return ev
+}
+
+// evalWithinTwin judges a within_twin claim against the twin's sweep
+// evaluation. It reuses fit's refusal discipline: a sweep with fewer than
+// fit.DefaultMinRows in-range rows, or a realized size spread under
+// fit.DefaultMinSpread, could not have left the band and must not confirm
+// it.
+func evalWithinTwin(h *Hypothesis, out *scenario.Outcome, tw *twin.SweepEval) (Verdict, string) {
+	if tw == nil {
+		alg, fam := "?", "?"
+		if out.Spec != nil {
+			alg, fam = out.Spec.Algorithm, out.Spec.Graph
+		}
+		return Inconclusive, fmt.Sprintf("within_twin: no twin model for %s on %s %s", alg, fam, h.Measure)
+	}
+	if len(tw.Rows) < fit.DefaultMinRows {
+		return Inconclusive, fmt.Sprintf("within_twin: only %d in-range rows, need %d", len(tw.Rows), fit.DefaultMinRows)
+	}
+	nMin, nMax := tw.Rows[0].N, tw.Rows[0].N
+	lo, hi, worst := tw.Rows[0].Ratio, tw.Rows[0].Ratio, 0
+	for i, r := range tw.Rows {
+		if r.N < nMin {
+			nMin = r.N
+		}
+		if r.N > nMax {
+			nMax = r.N
+		}
+		if r.Ratio < lo {
+			lo = r.Ratio
+		}
+		if r.Ratio > hi {
+			hi = r.Ratio
+		}
+		if r.Ratio < h.WithinTwin.Min || r.Ratio > h.WithinTwin.Max {
+			worst = i
+		}
+	}
+	if nMin <= 0 || nMax/nMin < fit.DefaultMinSpread {
+		return Inconclusive, fmt.Sprintf("within_twin: size spread %.2g below %.2g", nMax/nMin, fit.DefaultMinSpread)
+	}
+	if lo >= h.WithinTwin.Min && hi <= h.WithinTwin.Max {
+		return Confirmed, fmt.Sprintf("within_twin ratios [%.3f, %.3f] within [%.3g, %.3g] (curve %s, max |log2| %.2f)",
+			lo, hi, h.WithinTwin.Min, h.WithinTwin.Max, tw.Curve, tw.MaxAbsLogRatio)
+	}
+	return Rejected, fmt.Sprintf("within_twin ratios [%.3f, %.3f] leave [%.3g, %.3g] at n=%.0f (ratio %.3f)",
+		lo, hi, h.WithinTwin.Min, h.WithinTwin.Max, tw.Rows[worst].N, tw.Rows[worst].Ratio)
 }
 
 // evalExpect fits the growth classes and compares the best fit against the
@@ -642,6 +747,17 @@ func Run(c *Campaign, opt Options) (*Report, error) {
 	if err != nil {
 		campSpan.End(obs.A("error", err.Error()))
 		return nil, err
+	}
+	// One twin.eval span per twin-bearing scenario: the trace records which
+	// sweeps were held against a closed form and how far they deviated.
+	for _, s := range rep.Scenarios {
+		if s.Twin == nil {
+			continue
+		}
+		campSpan.Span("twin.eval",
+			obs.A("scenario", s.Name), obs.A("measure", s.Twin.Measure),
+			obs.A("curve", string(s.Twin.Curve)),
+			obs.A("max_abs_log_ratio", s.Twin.MaxAbsLogRatio)).End()
 	}
 	campSpan.End(obs.A("confirmed", rep.Confirmed), obs.A("rejected", rep.Rejected),
 		obs.A("inconclusive", rep.Inconclusive))

@@ -3,6 +3,7 @@ package campaign
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -47,5 +48,20 @@ func TestPaperCampaign(t *testing.T) {
 	// The two e9 items share one spec and must have deduped onto one key.
 	if byName["e9-kmw-matching-node"].Key != byName["e9-kmw-matching-edge"].Key {
 		t.Fatal("identical e9 specs did not share a cache key")
+	}
+	// Every within_twin claim — the paper's closed forms, held against the
+	// analytical twin catalogue — must come out CONFIRMED with its twin
+	// block attached.
+	for _, name := range []string{"e1-rulingset-rand22", "e10-det-cycle-mis", "e10-rand-cycle-mis", "e14-sinkless-rand"} {
+		s := byName[name]
+		if s.Verdict != Confirmed {
+			t.Errorf("%s within_twin claim: %s (%s)", name, s.Verdict, s.Detail)
+		}
+		if !strings.Contains(s.Detail, "within_twin ratios") {
+			t.Errorf("%s verdict detail carries no within_twin claim: %s", name, s.Detail)
+		}
+		if s.Twin == nil || len(s.Twin.Rows) == 0 {
+			t.Errorf("%s has no twin block", name)
+		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"avgloc/internal/measure"
 	"avgloc/internal/registry"
 	"avgloc/internal/runtime"
+	"avgloc/internal/twin"
 )
 
 // Scale selects the sweep size.
@@ -821,10 +822,11 @@ func E10CycleMIS(opt Options) (*Table, error) {
 		ID:      "E10",
 		Title:   "MIS on cycles: deterministic vs randomized node averages",
 		Claim:   "[Feu20]: deterministic node-avg Θ(log* n) (= worst case); randomized O(1)",
-		Columns: []string{"n", "det nodeAvg", "det worst", "luby nodeAvg", "luby p50", "luby p99", "luby worstMean"},
+		Columns: []string{"n", "det nodeAvg", "det twin pred", "det twin ratio", "det worst", "luby nodeAvg", "luby p50", "luby p99", "luby worstMean"},
 	}
 	detRunner, detProb := mustAlg("mis/det-coloring")
 	lubyRunner, lubyProb := mustAlg("mis/luby")
+	detTwin, _ := twin.Lookup("mis/det-coloring", "cycle", "node_avg")
 	var pool rowPool
 	for _, n := range ns {
 		n := n
@@ -838,8 +840,9 @@ func E10CycleMIS(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			pred, ratio := twinCells(detTwin, n, 2, det.NodeAvg)
 			return []string{
-				fmt.Sprint(n), f2(det.NodeAvg), f1(det.WorstMax),
+				fmt.Sprint(n), f2(det.NodeAvg), pred, ratio, f1(det.WorstMax),
 				f2(lub.NodeAvg), f2(lub.Dist.NodeQ.P50), f2(lub.Dist.NodeQ.P99), f1(lub.WorstMean),
 			}, nil
 		})
@@ -850,7 +853,25 @@ func E10CycleMIS(opt Options) (*Table, error) {
 	}
 	t.Rows = rows
 	t.Notes = append(t.Notes, "p50/p99 over per-node expected times: the bulk is O(1), only the tail pays the worst case")
+	t.Notes = append(t.Notes, "det twin: internal/twin's Θ(log* n) closed form beside the measurement (ratio = measured/predicted)")
 	return t, nil
+}
+
+// twinCells formats one row's analytical-twin prediction and
+// measured/predicted ratio; "-" cells when the catalogue has no model or
+// the size is outside the model's validity range.
+func twinCells(m *twin.Model, n int, delta, measured float64) (string, string) {
+	if m == nil {
+		return "-", "-"
+	}
+	if (m.NMin > 0 && float64(n) < m.NMin) || (m.NMax > 0 && float64(n) > m.NMax) {
+		return "-", "-"
+	}
+	pred := m.Predict(float64(n), delta)
+	if pred <= 0 {
+		return "-", "-"
+	}
+	return f2(pred), f2(measured / pred)
 }
 
 // E11LubyEdges: Section 3.1 — one-sided edge averages of Luby's MIS, and
@@ -1016,8 +1037,9 @@ func E14SinklessRand(opt Options) (*Table, error) {
 		ID:      "E14",
 		Title:   "randomized sinkless orientation (marking algorithm)",
 		Claim:   "[GS17a] via §3.3: node-averaged complexity O(1)",
-		Columns: []string{"n", "nodeAvg", "edgeAvg", "worstMean"},
+		Columns: []string{"n", "nodeAvg", "twin pred", "twin ratio", "edgeAvg", "worstMean"},
 	}
+	sinkTwin, _ := twin.Lookup("orient/rand-marking", "regular", "node_avg")
 	var pool rowPool
 	for _, n := range ns {
 		n := n
@@ -1027,7 +1049,8 @@ func E14SinklessRand(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			return []string{fmt.Sprint(n), f2(rep.NodeAvg), f2(rep.EdgeAvg), f1(rep.WorstMean)}, nil
+			pred, ratio := twinCells(sinkTwin, n, 3, rep.NodeAvg)
+			return []string{fmt.Sprint(n), f2(rep.NodeAvg), pred, ratio, f2(rep.EdgeAvg), f1(rep.WorstMean)}, nil
 		})
 	}
 	rows, err := pool.run(opt.workers())
@@ -1035,6 +1058,7 @@ func E14SinklessRand(opt Options) (*Table, error) {
 		return nil, err
 	}
 	t.Rows = rows
+	t.Notes = append(t.Notes, "twin: internal/twin's O(min(log Δ, log log n)) closed form beside the measurement (ratio = measured/predicted)")
 	return t, nil
 }
 

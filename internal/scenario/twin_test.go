@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// twinSpec is a sweep the twin catalogue has a model for (mis/luby on
+// cycles), small enough to run at every parallelism level of the property
+// test.
+func twinSpec() *Spec {
+	return &Spec{
+		Graph:     "cycle",
+		Params:    map[string]float64{"n": 64},
+		Algorithm: "mis/luby",
+		Trials:    4,
+		Seed:      42,
+		Sweep:     &Sweep{Param: "n", Values: []float64{64, 128, 256}},
+	}
+}
+
+// stripTwin removes the "twin" key from a marshaled outcome document and
+// renders the rest in a canonical (sorted-key) form. Both sides of the
+// byte comparison go through it, so the comparison is exactly "every
+// field except twin is byte-identical".
+func stripTwin(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "twin")
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestTwinLeavesMeasuredBytesUnchanged is the pure-observability property:
+// at every parallelism level 1–64, a twin-enabled run's MarshalStable
+// bytes with the "twin" key stripped are byte-identical to a twin-disabled
+// run's bytes — enabling the twin never changes a measured field.
+func TestTwinLeavesMeasuredBytesUnchanged(t *testing.T) {
+	base, err := Run(twinSpec(), Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Twin != nil {
+		t.Fatal("twin-disabled run carries a twin block")
+	}
+	baseBytes, err := base.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCanon := stripTwin(t, baseBytes)
+	for _, par := range []int{1, 2, 3, 4, 8, 16, 32, 64} {
+		out, err := Run(twinSpec(), Options{Parallelism: par, Twin: true})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if out.Twin == nil {
+			t.Fatalf("parallelism %d: twin-enabled run on mis/luby cycle has no twin block", par)
+		}
+		if out.Twin.Measure != "node_avg" || len(out.Twin.Rows) != 3 {
+			t.Fatalf("parallelism %d: unexpected twin block %+v", par, out.Twin)
+		}
+		got, err := out.MarshalStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(got, []byte(`"twin"`)) {
+			t.Fatalf("parallelism %d: twin-enabled document carries no twin key", par)
+		}
+		if stripped := stripTwin(t, got); !bytes.Equal(stripped, baseCanon) {
+			t.Fatalf("parallelism %d: measured bytes drifted with twin enabled:\ngot:\n%s\nwant:\n%s",
+				par, stripped, baseCanon)
+		}
+	}
+}
+
+// TestTwinDegradesWithoutModel checks that an (algorithm, family) pair
+// without a catalogue model runs normally and leaves Twin nil.
+func TestTwinDegradesWithoutModel(t *testing.T) {
+	s := &Spec{Graph: "tree", Params: map[string]float64{"n": 64}, Algorithm: "mis/luby", Trials: 2, Seed: 7}
+	out, err := Run(s, Options{Parallelism: 2, Twin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Twin != nil {
+		t.Fatalf("tree has no twin model, got %+v", out.Twin)
+	}
+	if len(out.Rows) != 1 || out.Rows[0].Report == nil {
+		t.Fatalf("measurement degraded: %+v", out.Rows)
+	}
+}

@@ -1,0 +1,218 @@
+package twin
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// The twin artifact is NDJSON under the repo's typed-header convention
+// (shared with trace and load artifacts, so avgtrace dispatches on the
+// first line): a {"type":"twin"} header, one {"type":"sweep"} summary
+// line per evaluated sweep, and one {"type":"row"} line per row carrying
+// the measured value, the prediction, and their ratio.
+
+// ArtifactSweep is one named sweep of a twin artifact.
+type ArtifactSweep struct {
+	Scenario string
+	Eval     *SweepEval
+}
+
+// Artifact is a parsed twin artifact.
+type Artifact struct {
+	Name   string
+	Sweeps []ArtifactSweep
+}
+
+type headerLine struct {
+	Type   string `json:"type"`
+	Name   string `json:"name,omitempty"`
+	Sweeps int    `json:"sweeps"`
+}
+
+type sweepLine struct {
+	Type           string  `json:"type"`
+	Scenario       string  `json:"scenario"`
+	Algorithm      string  `json:"algorithm"`
+	Family         string  `json:"family"`
+	Measure        string  `json:"measure"`
+	Curve          Curve   `json:"curve"`
+	Note           string  `json:"note,omitempty"`
+	MaxAbsLogRatio float64 `json:"max_abs_log_ratio"`
+	WorstRow       int     `json:"worst_row"`
+	OutOfRange     int     `json:"out_of_range,omitempty"`
+}
+
+type rowLine struct {
+	Type      string  `json:"type"`
+	Scenario  string  `json:"scenario"`
+	N         float64 `json:"n"`
+	Measured  float64 `json:"measured"`
+	Predicted float64 `json:"predicted"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// WriteArtifact renders sweeps as a twin NDJSON artifact. Line order is
+// deterministic: header, then each sweep's summary followed by its rows,
+// in the given order.
+func WriteArtifact(w io.Writer, name string, sweeps []ArtifactSweep) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(headerLine{Type: "twin", Name: name, Sweeps: len(sweeps)}); err != nil {
+		return err
+	}
+	for _, s := range sweeps {
+		if s.Eval == nil {
+			continue
+		}
+		e := s.Eval
+		if err := enc.Encode(sweepLine{
+			Type: "sweep", Scenario: s.Scenario,
+			Algorithm: e.Algorithm, Family: e.Family, Measure: e.Measure, Curve: e.Curve, Note: e.Note,
+			MaxAbsLogRatio: e.MaxAbsLogRatio, WorstRow: e.WorstRow, OutOfRange: e.OutOfRange,
+		}); err != nil {
+			return err
+		}
+		for _, r := range e.Rows {
+			if err := enc.Encode(rowLine{
+				Type: "row", Scenario: s.Scenario,
+				N: r.N, Measured: r.Measured, Predicted: r.Predicted, Ratio: r.Ratio,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadArtifact parses a twin NDJSON artifact. Unknown line types are
+// skipped so newer artifacts stay readable; a missing or wrong-typed
+// header is an error.
+func ReadArtifact(r io.Reader) (*Artifact, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	art := &Artifact{}
+	byScenario := map[string]*ArtifactSweep{}
+	sawHeader := false
+	n := 0
+	for sc.Scan() {
+		n++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(text), &probe); err != nil {
+			return nil, fmt.Errorf("twin: line %d: %w", n, err)
+		}
+		switch probe.Type {
+		case "twin":
+			var h headerLine
+			if err := json.Unmarshal([]byte(text), &h); err != nil {
+				return nil, fmt.Errorf("twin: line %d: %w", n, err)
+			}
+			art.Name = h.Name
+			sawHeader = true
+		case "sweep":
+			var s sweepLine
+			if err := json.Unmarshal([]byte(text), &s); err != nil {
+				return nil, fmt.Errorf("twin: line %d: %w", n, err)
+			}
+			sw := ArtifactSweep{Scenario: s.Scenario, Eval: &SweepEval{
+				Algorithm: s.Algorithm, Family: s.Family, Measure: s.Measure, Curve: s.Curve, Note: s.Note,
+				MaxAbsLogRatio: s.MaxAbsLogRatio, WorstRow: s.WorstRow, OutOfRange: s.OutOfRange,
+			}}
+			art.Sweeps = append(art.Sweeps, sw)
+			byScenario[s.Scenario] = &art.Sweeps[len(art.Sweeps)-1]
+		case "row":
+			var rl rowLine
+			if err := json.Unmarshal([]byte(text), &rl); err != nil {
+				return nil, fmt.Errorf("twin: line %d: %w", n, err)
+			}
+			sw := byScenario[rl.Scenario]
+			if sw == nil {
+				return nil, fmt.Errorf("twin: line %d: row for unknown sweep %q", n, rl.Scenario)
+			}
+			sw.Eval.Rows = append(sw.Eval.Rows, RowEval{N: rl.N, Measured: rl.Measured, Predicted: rl.Predicted, Ratio: rl.Ratio})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("twin: artifact has no twin header line")
+	}
+	return art, nil
+}
+
+// barWidth is the plot width of the measured-value bars.
+const barWidth = 28
+
+// Render prints the artifact: per sweep, a measured-vs-predicted plot —
+// one bar per row scaled to the sweep's largest value, the predicted
+// value marked with '|' on the same scale — with the worst-deviating row
+// flagged.
+func Render(a *Artifact) string {
+	var b strings.Builder
+	name := a.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "twin %s: %d sweeps\n", name, len(a.Sweeps))
+	for _, s := range a.Sweeps {
+		e := s.Eval
+		fmt.Fprintf(&b, "\n%s: %s on %s, %s ~ %s (max |log2 ratio| %.2f)\n",
+			s.Scenario, e.Algorithm, e.Family, e.Measure, e.Curve, e.MaxAbsLogRatio)
+		if e.OutOfRange > 0 {
+			fmt.Fprintf(&b, "  %d rows outside the model's validity range were skipped\n", e.OutOfRange)
+		}
+		if len(e.Rows) == 0 {
+			continue
+		}
+		scale := 0.0
+		for _, r := range e.Rows {
+			scale = math.Max(scale, math.Max(r.Measured, r.Predicted))
+		}
+		fmt.Fprintf(&b, "  %10s  %9s  %9s  %6s  %s\n", "n", "measured", "predicted", "ratio", "")
+		for i, r := range e.Rows {
+			flag := ""
+			if i == e.WorstRow {
+				flag = "  ◄ worst"
+			}
+			fmt.Fprintf(&b, "  %10.0f  %9.2f  %9.2f  %6.2f  %s%s\n",
+				r.N, r.Measured, r.Predicted, r.Ratio, bar(r.Measured, r.Predicted, scale), flag)
+		}
+	}
+	return b.String()
+}
+
+// bar renders one measured-value bar with the prediction marked at its
+// position on the same scale.
+func bar(measured, predicted, scale float64) string {
+	cells := make([]rune, barWidth+1)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	pos := func(v float64) int {
+		if scale <= 0 {
+			return 0
+		}
+		p := int(math.Round(v / scale * barWidth))
+		if p < 0 {
+			p = 0
+		}
+		if p > barWidth {
+			p = barWidth
+		}
+		return p
+	}
+	for i := 0; i < pos(measured); i++ {
+		cells[i] = '█'
+	}
+	cells[pos(predicted)] = '|'
+	return string(cells)
+}

@@ -1,0 +1,108 @@
+package twin
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSweeps() []ArtifactSweep {
+	return []ArtifactSweep{
+		{Scenario: "e10-det", Eval: &SweepEval{
+			Algorithm: "mis/det-coloring", Family: "cycle", Measure: "node_avg", Curve: LogStar,
+			Note: "det cycle MIS",
+			Rows: []RowEval{
+				{N: 256, Measured: 18, Predicted: 18.6, Ratio: 18 / 18.6},
+				{N: 65536, Measured: 19, Predicted: 18.6, Ratio: 19 / 18.6},
+			},
+			MaxAbsLogRatio: 0.047, WorstRow: 0, OutOfRange: 1,
+		}},
+		{Scenario: "skipped", Eval: nil}, // nil evals are dropped, not written
+		{Scenario: "e10-rand", Eval: &SweepEval{
+			Algorithm: "mis/luby", Family: "cycle", Measure: "node_avg", Curve: Const,
+			Rows:           []RowEval{{N: 256, Measured: 1.96, Predicted: 1.97, Ratio: 1.96 / 1.97}},
+			MaxAbsLogRatio: 0.007,
+		}},
+	}
+}
+
+// TestArtifactRoundTrip pins Write -> Read -> identical sweep content.
+func TestArtifactRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteArtifact(&buf, "paper", sampleSweeps()); err != nil {
+		t.Fatal(err)
+	}
+	art, err := ReadArtifact(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Name != "paper" || len(art.Sweeps) != 2 {
+		t.Fatalf("got name %q with %d sweeps, want paper/2", art.Name, len(art.Sweeps))
+	}
+	e := art.Sweeps[0].Eval
+	if e.Algorithm != "mis/det-coloring" || e.OutOfRange != 1 || len(e.Rows) != 2 {
+		t.Fatalf("first sweep drifted: %+v", e)
+	}
+	if e.Rows[1].N != 65536 || e.Rows[1].Measured != 19 {
+		t.Fatalf("row content drifted: %+v", e.Rows[1])
+	}
+}
+
+// TestReadArtifactErrors pins the two failure modes: a row referencing an
+// undeclared sweep, and an artifact with no twin header at all.
+func TestReadArtifactErrors(t *testing.T) {
+	_, err := ReadArtifact(strings.NewReader(`{"type":"twin","name":"x","sweeps":1}
+{"type":"row","scenario":"ghost","n":1,"measured":1,"predicted":1,"ratio":1}
+`))
+	if err == nil || !strings.Contains(err.Error(), "unknown sweep") {
+		t.Fatalf("row-for-unknown-sweep error = %v", err)
+	}
+
+	_, err = ReadArtifact(strings.NewReader(`{"type":"sweep","scenario":"x"}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "no twin header") {
+		t.Fatalf("missing-header error = %v", err)
+	}
+}
+
+// TestReadArtifactSkipsUnknownLines checks forward compatibility: a newer
+// writer's extra line types must not break an older reader.
+func TestReadArtifactSkipsUnknownLines(t *testing.T) {
+	art, err := ReadArtifact(strings.NewReader(`{"type":"twin","name":"x","sweeps":0}
+{"type":"future-annotation","payload":42}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Name != "x" || len(art.Sweeps) != 0 {
+		t.Fatalf("unexpected artifact: %+v", art)
+	}
+}
+
+// TestRender pins the plot's load-bearing features: per-sweep summary,
+// the worst-row flag, and the out-of-range note.
+func TestRender(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteArtifact(&buf, "paper", sampleSweeps()); err != nil {
+		t.Fatal(err)
+	}
+	art, err := ReadArtifact(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(art)
+	for _, want := range []string{
+		"twin paper: 2 sweeps",
+		"e10-det: mis/det-coloring on cycle, node_avg ~ logstar",
+		"max |log2 ratio| 0.05",
+		"1 rows outside the model's validity range were skipped",
+		"◄ worst",
+		"█",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly one worst flag per sweep with rows.
+	if got := strings.Count(out, "◄ worst"); got != 2 {
+		t.Fatalf("worst flag count = %d, want 2:\n%s", got, out)
+	}
+}

@@ -1,0 +1,69 @@
+package twin
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"avgloc/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden exposition file")
+
+// TestRegisterMetricsGolden pins the avg_twin_* Prometheus exposition —
+// names, help strings, types, and the values a deterministic evaluation
+// pattern produces. Points are constructed with Measured equal to the
+// model's own prediction, so every ratio is exactly 1 and the deviation
+// gauge reads exactly 0 regardless of the catalogue's fitted constants.
+func TestRegisterMetricsGolden(t *testing.T) {
+	resetStats()
+	m, ok := Lookup("mis/luby", "cycle", "node_avg")
+	if !ok {
+		t.Fatal("catalogue lost the luby model")
+	}
+	onCurve := func(n float64) Point {
+		return Point{N: n, Delta: 2, Measured: m.Predict(n, 2)}
+	}
+	if _, ok := EvalSweep("mis/luby", "cycle", "node_avg", []Point{onCurve(256), onCurve(1024), onCurve(4096)}); !ok {
+		t.Fatal("EvalSweep missed the luby model")
+	}
+	if _, ok := EvalSweep("nothing/here", "tree", "node_avg", nil); ok {
+		t.Fatal("EvalSweep invented a model")
+	}
+
+	r := obs.NewRegistry()
+	RegisterMetrics(r)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	got := b.String()
+
+	for _, want := range []string{
+		"avg_twin_evals_total 1",
+		"avg_twin_rows_total 3",
+		"avg_twin_no_model_total 1",
+		"avg_twin_max_abs_log_ratio 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, got)
+		}
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from %s (rerun with -update if intended):\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
